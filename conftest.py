@@ -1,0 +1,14 @@
+"""Pytest bootstrap: make ``src/`` importable without an installed package.
+
+The library is normally installed with ``pip install -e .`` (or
+``python setup.py develop`` on offline machines without the ``wheel``
+package); this shim keeps ``pytest`` working straight from a source checkout
+either way.
+"""
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

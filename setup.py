@@ -1,0 +1,10 @@
+"""Legacy setuptools entry point.
+
+Kept so that ``pip install -e .`` works in offline environments whose
+setuptools/wheel versions predate PEP 660 editable installs; all project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""Baselines and reference methods the paper compares against (or builds on).
+
+* :mod:`knn_baseline`      -- the scaled kNN graph the paper uses as its
+  experimental comparator (Sec. III);
+* :mod:`glasso`            -- a small-scale GSP graphical-Lasso Laplacian
+  estimator (projected gradient ascent), standing in for the CVX-based
+  state-of-the-art methods [2], [3] that are too slow to run at scale;
+* :mod:`spectral_sparsify` -- Spielman-Srivastava effective-resistance
+  sparsification [10], the "dual" of SGL's densification view;
+* :mod:`kron`              -- Kron reduction, the reference model for the
+  reduced-network learning experiment (Fig. 8).
+"""
+
+from repro.baselines.knn_baseline import scaled_knn_baseline
+from repro.baselines.glasso import GraphicalLassoResult, gsp_graphical_lasso
+from repro.baselines.spectral_sparsify import spectral_sparsify
+from repro.baselines.kron import kron_reduction
+
+__all__ = [
+    "scaled_knn_baseline",
+    "GraphicalLassoResult",
+    "gsp_graphical_lasso",
+    "spectral_sparsify",
+    "kron_reduction",
+]

@@ -1,0 +1,45 @@
+"""The SGL algorithm: spectral graph learning from measurements.
+
+This package implements the paper's primary contribution (Sec. II):
+
+* :mod:`repro.core.config`       -- :class:`SGLConfig`, all tunable knobs of
+  Algorithm 1 with the paper's defaults;
+* :mod:`repro.core.sensitivity`  -- edge sensitivities (Eq. 13), spectral
+  embedding distortions (Eq. 14) and the first-order eigenvalue perturbation
+  of Theorem II.1;
+* :mod:`repro.core.objective`    -- the graphical-Lasso objective (Eq. 2);
+* :mod:`repro.core.scaling`      -- spectral edge scaling, Step 5
+  (Eqs. 21-23);
+* :mod:`repro.core.history`      -- per-iteration convergence records;
+* :mod:`repro.core.sgl`          -- :class:`SGLearner` / :func:`learn_graph`,
+  the densification loop of Algorithm 1.
+"""
+
+from repro.core.config import SGLConfig
+from repro.core.history import IterationRecord, SGLHistory
+from repro.core.objective import graphical_lasso_objective, objective_terms
+from repro.core.scaling import edge_scaling_factor, spectral_edge_scaling
+from repro.core.sensitivity import (
+    data_distances_squared,
+    edge_sensitivities,
+    eigenvalue_perturbations,
+    spectral_embedding_distortion,
+)
+from repro.core.sgl import SGLearner, SGLResult, learn_graph
+
+__all__ = [
+    "SGLConfig",
+    "IterationRecord",
+    "SGLHistory",
+    "graphical_lasso_objective",
+    "objective_terms",
+    "edge_scaling_factor",
+    "spectral_edge_scaling",
+    "data_distances_squared",
+    "edge_sensitivities",
+    "eigenvalue_perturbations",
+    "spectral_embedding_distortion",
+    "SGLearner",
+    "SGLResult",
+    "learn_graph",
+]

@@ -1,0 +1,291 @@
+"""The SGL graph learner (Algorithm 1 of the paper).
+
+Given voltage measurements ``X`` (and optionally the current excitations
+``Y``), the learner:
+
+1. builds a connected kNN graph over the measurement vectors and extracts its
+   maximum spanning tree as the initial graph (Step 1);
+2. repeatedly embeds the current graph spectrally (Step 2), ranks the
+   remaining off-tree kNN edges by sensitivity (Step 3) and adds the top
+   ``ceil(N beta)`` edges whose sensitivity exceeds ``tol`` (Step 4);
+3. once no influential edges remain, rescales all edge weights so the learned
+   graph's voltage response energies match the measured ones (Step 5).
+
+The result is an ultra-sparse resistor network (density slightly above one)
+whose spectral-embedding / effective-resistance distances encode the measured
+voltage distances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import SGLConfig
+from repro.core.history import IterationRecord, SGLHistory
+from repro.core.objective import graphical_lasso_objective
+from repro.core.scaling import spectral_edge_scaling
+from repro.core.sensitivity import (
+    data_distances_squared,
+    edge_sensitivities,
+)
+from repro.embedding.spectral import spectral_embedding_matrix
+from repro.graphs.graph import WeightedGraph
+from repro.knn.knn_graph import knn_graph
+from repro.knn.mst import maximum_spanning_tree
+from repro.measurements.generator import MeasurementSet
+
+__all__ = ["SGLearner", "SGLResult", "learn_graph"]
+
+
+@dataclass(frozen=True)
+class SGLResult:
+    """Outcome of an SGL learning run.
+
+    Attributes
+    ----------
+    graph:
+        The learned resistor network after edge scaling (Step 5).
+    unscaled_graph:
+        The learned graph before Step 5 (identical topology and relative
+        weights; only the global conductance scale differs).
+    initial_graph:
+        The spanning tree (or other initial graph) the densification started
+        from.
+    knn_graph:
+        The kNN graph providing the candidate edge pool.
+    history:
+        Per-iteration convergence records (max sensitivity, edge counts,
+        optionally the objective).
+    converged:
+        True when the loop stopped because the maximum sensitivity dropped
+        below ``tol`` (as opposed to exhausting candidates or iterations).
+    scaling_factor:
+        The global conductance factor applied by Step 5 (1.0 when currents
+        were not available or scaling was disabled).
+    config:
+        The configuration used.
+    """
+
+    graph: WeightedGraph
+    unscaled_graph: WeightedGraph
+    initial_graph: WeightedGraph
+    knn_graph: WeightedGraph
+    history: SGLHistory
+    converged: bool
+    scaling_factor: float
+    config: SGLConfig
+
+    @property
+    def n_iterations(self) -> int:
+        """Number of densification iterations executed."""
+        return len(self.history)
+
+    @property
+    def density(self) -> float:
+        """Density ``|E|/|V|`` of the learned graph."""
+        return self.graph.density
+
+
+class SGLearner:
+    """Spectral graph learner implementing Algorithm 1.
+
+    Parameters
+    ----------
+    config:
+        A :class:`~repro.core.SGLConfig`; keyword overrides may be passed
+        instead (``SGLearner(k=5, r=5, beta=0.01)``).
+
+    Examples
+    --------
+    >>> from repro.graphs.generators import grid_2d
+    >>> from repro.measurements import simulate_measurements
+    >>> graph = grid_2d(10, 10)
+    >>> measurements = simulate_measurements(graph, n_measurements=30, seed=0)
+    >>> result = SGLearner(beta=0.05, max_iterations=50).fit(measurements)
+    >>> result.graph.n_nodes
+    100
+    """
+
+    def __init__(self, config: SGLConfig | None = None, **overrides) -> None:
+        if config is None:
+            config = SGLConfig(**overrides)
+        elif overrides:
+            raise ValueError("pass either a config object or keyword overrides, not both")
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def _initial_graphs(
+        self, voltages: np.ndarray
+    ) -> tuple[WeightedGraph, WeightedGraph]:
+        """Build the candidate kNN graph and the initial graph (Step 1)."""
+        config = self.config
+        n_nodes = voltages.shape[0]
+        k = min(config.k, n_nodes - 1)
+        candidates = knn_graph(voltages, k, weight_scheme="sgl", ensure_connected=True)
+        if config.initial_graph == "knn":
+            return candidates, candidates.copy()
+        if config.initial_graph == "mst":
+            return candidates, maximum_spanning_tree(candidates)
+        # "random-tree": a spanning tree chosen with random edge priorities.
+        rng = np.random.default_rng(config.seed)
+        random_priorities = candidates.with_weights(rng.random(candidates.n_edges) + 0.5)
+        tree_topology = maximum_spanning_tree(random_priorities)
+        # Restore the SGL weights on the chosen tree edges.
+        weights = np.array(
+            [candidates.edge_weight(int(s), int(t)) for s, t in tree_topology.edges]
+        )
+        tree = WeightedGraph(
+            candidates.n_nodes,
+            tree_topology.rows,
+            tree_topology.cols,
+            weights if weights.size else np.ones(0),
+        )
+        return candidates, tree
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        measurements: MeasurementSet | np.ndarray,
+        currents: np.ndarray | None = None,
+    ) -> SGLResult:
+        """Learn a resistor network from measurements.
+
+        Parameters
+        ----------
+        measurements:
+            A :class:`~repro.measurements.MeasurementSet`, or a bare voltage
+            matrix ``X`` of shape ``(N, M)``.
+        currents:
+            Optional current matrix ``Y`` when ``measurements`` is a bare
+            array; ignored otherwise.
+
+        Returns
+        -------
+        SGLResult
+        """
+        if isinstance(measurements, MeasurementSet):
+            voltages = measurements.voltages
+            currents = measurements.currents
+        else:
+            voltages = np.asarray(measurements, dtype=np.float64)
+        if voltages.ndim != 2:
+            raise ValueError("voltages must be an (N, M) matrix")
+        n_nodes, n_measurements = voltages.shape
+        if n_nodes < 3:
+            raise ValueError("need at least three nodes to learn a graph")
+        config = self.config
+
+        candidates, graph = self._initial_graphs(voltages)
+        initial_graph = graph.copy()
+
+        # Candidate pool: off-tree edges of the kNN graph, with the paper's
+        # M / ||x_s - x_t||^2 weights precomputed once.
+        in_graph = graph.edge_set()
+        pool_mask = np.array(
+            [
+                (int(s), int(t)) not in in_graph
+                for s, t in zip(candidates.rows, candidates.cols)
+            ],
+            dtype=bool,
+        )
+        pool_edges = candidates.edges[pool_mask]
+        pool_weights = candidates.weights[pool_mask].copy()
+        pool_zdata = data_distances_squared(voltages, pool_edges) if pool_edges.size else np.zeros(0)
+
+        history = SGLHistory()
+        converged = False
+        batch_size = config.edges_per_iteration(n_nodes)
+
+        for iteration in range(config.max_iterations):
+            if pool_edges.shape[0] == 0:
+                converged = True
+                break
+            embedding = spectral_embedding_matrix(
+                graph,
+                config.r,
+                sigma_sq=config.sigma_sq,
+                method=config.eigensolver,
+                seed=config.seed,
+                multilevel_coarse_size=config.multilevel_coarse_size,
+            )
+            sensitivities = edge_sensitivities(embedding, voltages, pool_edges)
+            max_sensitivity = float(sensitivities.max())
+
+            objective = None
+            if config.track_objective:
+                objective = graphical_lasso_objective(
+                    graph,
+                    voltages,
+                    sigma_sq=config.sigma_sq,
+                    n_eigenvalues=config.objective_eigenvalues,
+                    seed=config.seed,
+                )
+
+            if max_sensitivity < config.tol:
+                history.append(
+                    IterationRecord(
+                        iteration=iteration,
+                        max_sensitivity=max_sensitivity,
+                        n_edges=graph.n_edges,
+                        n_edges_added=0,
+                        objective=objective,
+                    )
+                )
+                converged = True
+                break
+
+            # Step 3: add the top-ranked influential edges.
+            order = np.argsort(sensitivities)[::-1][:batch_size]
+            chosen = order[sensitivities[order] > config.tol]
+            add_edges = pool_edges[chosen]
+            add_weights = pool_weights[chosen]
+            graph = graph.add_edges(add_edges, add_weights)
+
+            keep = np.ones(pool_edges.shape[0], dtype=bool)
+            keep[chosen] = False
+            pool_edges = pool_edges[keep]
+            pool_weights = pool_weights[keep]
+            pool_zdata = pool_zdata[keep]
+
+            history.append(
+                IterationRecord(
+                    iteration=iteration,
+                    max_sensitivity=max_sensitivity,
+                    n_edges=graph.n_edges,
+                    n_edges_added=int(chosen.size),
+                    objective=objective,
+                )
+            )
+            if chosen.size == 0:
+                converged = True
+                break
+
+        unscaled = graph
+        scaling_factor = 1.0
+        if config.edge_scaling and currents is not None:
+            graph, scaling_factor = spectral_edge_scaling(graph, voltages, currents)
+
+        return SGLResult(
+            graph=graph,
+            unscaled_graph=unscaled,
+            initial_graph=initial_graph,
+            knn_graph=candidates,
+            history=history,
+            converged=converged,
+            scaling_factor=scaling_factor,
+            config=config,
+        )
+
+
+def learn_graph(
+    measurements: MeasurementSet | np.ndarray,
+    currents: np.ndarray | None = None,
+    *,
+    config: SGLConfig | None = None,
+    **overrides,
+) -> SGLResult:
+    """Convenience wrapper: ``SGLearner(config or overrides).fit(measurements)``."""
+    learner = SGLearner(config=config, **overrides) if config is not None or overrides else SGLearner()
+    return learner.fit(measurements, currents)

@@ -1,0 +1,114 @@
+"""Minimal k-means clustering (Lloyd's algorithm with k-means++ seeding).
+
+Spectral clustering (used by the paper for colouring nodes in its graph
+drawings) needs a k-means step on the spectral coordinates; scikit-learn is
+not a dependency of this library, so a small, well-tested implementation is
+provided here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["KMeansResult", "kmeans"]
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Result of a k-means run."""
+
+    labels: np.ndarray
+    centers: np.ndarray
+    inertia: float
+    iterations: int
+    converged: bool
+
+
+def _kmeans_plus_plus(points: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """k-means++ initial centres."""
+    n = points.shape[0]
+    centers = np.empty((k, points.shape[1]))
+    first = rng.integers(0, n)
+    centers[0] = points[first]
+    closest_sq = np.sum((points - centers[0]) ** 2, axis=1)
+    for i in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0:
+            # All remaining points coincide with chosen centres.
+            centers[i:] = points[rng.integers(0, n, size=k - i)]
+            break
+        probs = closest_sq / total
+        choice = rng.choice(n, p=probs)
+        centers[i] = points[choice]
+        dist_sq = np.sum((points - centers[i]) ** 2, axis=1)
+        closest_sq = np.minimum(closest_sq, dist_sq)
+    return centers
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    *,
+    max_iter: int = 100,
+    tol: float = 1e-7,
+    n_init: int = 4,
+    seed: int | None = 0,
+) -> KMeansResult:
+    """Cluster ``points`` into ``k`` groups with Lloyd's algorithm.
+
+    Parameters
+    ----------
+    points:
+        ``(N, d)`` data matrix.
+    k:
+        Number of clusters (``1 <= k <= N``).
+    max_iter, tol:
+        Lloyd iteration cap and centre-movement convergence tolerance.
+    n_init:
+        Number of k-means++ restarts; the lowest-inertia run is returned.
+    seed:
+        Seed for the restarts.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError("points must be a 2-D array")
+    n = points.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError("k must satisfy 1 <= k <= number of points")
+    rng = np.random.default_rng(seed)
+
+    best: KMeansResult | None = None
+    for _ in range(max(1, n_init)):
+        centers = _kmeans_plus_plus(points, k, rng)
+        labels = np.zeros(n, dtype=np.int64)
+        converged = False
+        iterations = 0
+        for iterations in range(1, max_iter + 1):
+            # Assignment step.
+            distances = np.linalg.norm(points[:, None, :] - centers[None, :, :], axis=2)
+            labels = np.argmin(distances, axis=1)
+            # Update step.
+            new_centers = centers.copy()
+            for cluster in range(k):
+                members = points[labels == cluster]
+                if members.shape[0]:
+                    new_centers[cluster] = members.mean(axis=0)
+                else:
+                    # Re-seed empty clusters at the farthest point.
+                    farthest = np.argmax(np.min(distances, axis=1))
+                    new_centers[cluster] = points[farthest]
+            movement = float(np.max(np.linalg.norm(new_centers - centers, axis=1)))
+            centers = new_centers
+            if movement <= tol:
+                converged = True
+                break
+        distances = np.linalg.norm(points[:, None, :] - centers[None, :, :], axis=2)
+        labels = np.argmin(distances, axis=1)
+        inertia = float(np.sum(np.min(distances, axis=1) ** 2))
+        result = KMeansResult(labels, centers, inertia, iterations, converged)
+        if best is None or result.inertia < best.inertia:
+            best = result
+    assert best is not None
+    return best

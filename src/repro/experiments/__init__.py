@@ -1,0 +1,60 @@
+"""Experiment harness reproducing every figure of the paper's evaluation.
+
+Each figure of Sec. III has a driver function in :mod:`repro.experiments.figures`
+returning a structured result object (data series, not plots); the
+:mod:`repro.experiments.reporting` helpers render those results as text tables
+so the benchmark harness and the examples can print paper-style summaries.
+
+Workload configuration (which test case, how many measurements, which SGL
+parameters) is centralised in :mod:`repro.experiments.workloads`.
+"""
+
+from repro.experiments.workloads import ExperimentWorkload, default_workload
+from repro.experiments.figures import (
+    Fig01Result,
+    Fig02Result,
+    Fig07Result,
+    Fig08Result,
+    Fig09Result,
+    Fig10Result,
+    Fig11Result,
+    GraphLearningResult,
+    fig01_convergence,
+    fig02_objective_comparison,
+    fig03_knn_comparison,
+    fig04_airfoil,
+    fig05_crack,
+    fig06_g2_circuit,
+    fig07_resistance_correlation,
+    fig08_reduced_networks,
+    fig09_noise_robustness,
+    fig10_sample_complexity,
+    fig11_runtime_scalability,
+)
+from repro.experiments.reporting import format_table, summarize_learning_result
+
+__all__ = [
+    "ExperimentWorkload",
+    "default_workload",
+    "Fig01Result",
+    "Fig02Result",
+    "Fig07Result",
+    "Fig08Result",
+    "Fig09Result",
+    "Fig10Result",
+    "Fig11Result",
+    "GraphLearningResult",
+    "fig01_convergence",
+    "fig02_objective_comparison",
+    "fig03_knn_comparison",
+    "fig04_airfoil",
+    "fig05_crack",
+    "fig06_g2_circuit",
+    "fig07_resistance_correlation",
+    "fig08_reduced_networks",
+    "fig09_noise_robustness",
+    "fig10_sample_complexity",
+    "fig11_runtime_scalability",
+    "format_table",
+    "summarize_learning_result",
+]

@@ -1,0 +1,34 @@
+"""Graph data structures, Laplacian utilities, generators and I/O.
+
+This subpackage provides the graph substrate used by every other part of the
+SGL reproduction:
+
+* :class:`~repro.graphs.graph.WeightedGraph` -- an immutable-by-convention,
+  CSR-backed weighted undirected graph, the common currency of the library.
+* :mod:`repro.graphs.laplacian` -- Laplacian construction/validation helpers.
+* :mod:`repro.graphs.generators` -- synthetic test-case generators matching
+  the structural classes used in the paper (meshes, FEM triangulations,
+  circuit grids, random graphs).
+* :mod:`repro.graphs.io` -- Matrix-Market / edge-list I/O and the named
+  test-suite registry.
+"""
+
+from repro.graphs.graph import WeightedGraph
+from repro.graphs.laplacian import (
+    adjacency_to_laplacian,
+    graph_from_laplacian,
+    is_valid_laplacian,
+    laplacian_from_edges,
+    laplacian_quadratic_form,
+    validate_laplacian,
+)
+
+__all__ = [
+    "WeightedGraph",
+    "adjacency_to_laplacian",
+    "graph_from_laplacian",
+    "is_valid_laplacian",
+    "laplacian_from_edges",
+    "laplacian_quadratic_form",
+    "validate_laplacian",
+]

@@ -1,0 +1,53 @@
+"""Synthetic test-case generators.
+
+The paper evaluates SGL on sparse matrices taken from circuit simulation and
+finite-element collections ("2D mesh", "airfoil", "fe_4elt2", "crack",
+"G2_circuit").  Those exact matrices are not redistributable here, so this
+package provides generators for the same *structural classes*:
+
+* :mod:`mesh` -- regular 2-D / 3-D grid meshes (the paper's "2D mesh" case).
+* :mod:`fem`  -- Delaunay triangulations of structured point clouds
+  (airfoil-, cracked-plate- and general FEM-style meshes).
+* :mod:`circuit` -- irregular circuit-style grids mimicking power-delivery
+  networks such as "G2_circuit".
+* :mod:`random_graphs` -- random weighted graphs used by tests and ablations.
+
+Every generator returns a connected :class:`~repro.graphs.WeightedGraph` with
+strictly positive edge weights and a density (``|E|/|V|``) in the 2--3 range
+characteristic of the paper's test cases.
+"""
+
+from repro.graphs.generators.mesh import grid_2d, grid_3d, path_graph, torus_2d
+from repro.graphs.generators.fem import (
+    airfoil_mesh,
+    cracked_plate_mesh,
+    delaunay_mesh,
+    fe_mesh,
+)
+from repro.graphs.generators.circuit import circuit_grid, power_grid, rc_ladder
+from repro.graphs.generators.random_graphs import (
+    erdos_renyi_graph,
+    random_geometric_graph,
+    random_regular_graph,
+    random_spanning_tree,
+    watts_strogatz_graph,
+)
+
+__all__ = [
+    "grid_2d",
+    "grid_3d",
+    "torus_2d",
+    "path_graph",
+    "airfoil_mesh",
+    "cracked_plate_mesh",
+    "delaunay_mesh",
+    "fe_mesh",
+    "circuit_grid",
+    "power_grid",
+    "rc_ladder",
+    "erdos_renyi_graph",
+    "random_geometric_graph",
+    "random_regular_graph",
+    "random_spanning_tree",
+    "watts_strogatz_graph",
+]

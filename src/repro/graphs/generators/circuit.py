@@ -1,0 +1,156 @@
+"""Circuit-network generators (power-grid / RC-grid style resistor networks).
+
+The paper's largest test case, "G2_circuit" (|V| = 150,102, |E| = 288,286,
+density ~1.9), is a circuit-simulation matrix.  Power-delivery and clock-mesh
+networks of this kind are essentially irregular 2-D grids with locally varying
+wire conductances, occasional missing segments (routing blockages) and a few
+long-range "strap" connections.  :func:`circuit_grid` reproduces that
+structure at any size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import WeightedGraph
+from repro.graphs.generators.mesh import grid_2d
+
+__all__ = ["circuit_grid", "power_grid", "rc_ladder"]
+
+
+def circuit_grid(
+    n_rows: int,
+    n_cols: int | None = None,
+    *,
+    dropout: float = 0.08,
+    strap_fraction: float = 0.01,
+    weight_spread: float = 10.0,
+    seed: int | None = 0,
+) -> WeightedGraph:
+    """Irregular circuit-style grid (analogue of the paper's "G2_circuit").
+
+    Starting from a regular 2-D grid with log-uniform conductances
+    (``weight_spread``), a fraction ``dropout`` of segments is removed
+    (routing blockages) while keeping the network connected, and a small
+    number of long-range strap edges (``strap_fraction`` of |V|) is added
+    between random rows/columns, mimicking upper-metal power straps.
+    """
+    if n_cols is None:
+        n_cols = n_rows
+    if not 0.0 <= dropout < 0.5:
+        raise ValueError("dropout must be in [0, 0.5)")
+    if strap_fraction < 0:
+        raise ValueError("strap_fraction must be non-negative")
+    rng = np.random.default_rng(seed)
+
+    base = grid_2d(n_rows, n_cols, weight_spread=weight_spread, seed=seed)
+    n_nodes = base.n_nodes
+    rows, cols, weights = base.rows.copy(), base.cols.copy(), base.weights.copy()
+
+    if dropout > 0 and rows.size:
+        # Keep a random spanning structure intact: drop edges at random but
+        # re-insert any whose removal would disconnect the grid (checked once
+        # at the end for efficiency -- grid connectivity is robust at <50%).
+        keep_mask = rng.random(rows.size) >= dropout
+        candidate = WeightedGraph(n_nodes, rows[keep_mask], cols[keep_mask], weights[keep_mask])
+        if candidate.is_connected():
+            rows, cols, weights = rows[keep_mask], cols[keep_mask], weights[keep_mask]
+        else:
+            # Re-add dropped edges incident to small components until connected.
+            n_comp, labels = candidate.connected_components()
+            dropped = np.where(~keep_mask)[0]
+            rescue = [
+                idx for idx in dropped if labels[rows[idx]] != labels[cols[idx]]
+            ]
+            keep_mask[rescue] = True
+            rows, cols, weights = rows[keep_mask], cols[keep_mask], weights[keep_mask]
+
+    graph = WeightedGraph(n_nodes, rows, cols, weights)
+    if not graph.is_connected():
+        # Extremely defensive: reconnect components through their first nodes.
+        n_comp, labels = graph.connected_components()
+        reps = [int(np.where(labels == c)[0][0]) for c in range(n_comp)]
+        extra_edges = [(reps[i], reps[i + 1]) for i in range(n_comp - 1)]
+        graph = graph.add_edges(np.array(extra_edges), np.ones(len(extra_edges)))
+
+    n_straps = int(round(strap_fraction * n_nodes))
+    if n_straps > 0:
+        strap_rows = rng.integers(0, n_nodes, size=n_straps)
+        strap_cols = rng.integers(0, n_nodes, size=n_straps)
+        valid = strap_rows != strap_cols
+        strap_rows, strap_cols = strap_rows[valid], strap_cols[valid]
+        if strap_rows.size:
+            strap_weights = np.exp(rng.uniform(0.0, np.log(weight_spread), size=strap_rows.size))
+            graph = graph.add_edges(
+                np.column_stack([strap_rows, strap_cols]), strap_weights
+            )
+    return graph
+
+
+def power_grid(
+    n_rows: int,
+    n_cols: int | None = None,
+    *,
+    via_resistance: float = 0.1,
+    seed: int | None = 0,
+) -> WeightedGraph:
+    """Two-layer power-delivery network: two stacked grids joined by vias.
+
+    Layer 0 routes horizontally, layer 1 vertically; every node has a via
+    (conductance ``1/via_resistance``) to its counterpart on the other layer.
+    The result is a sparse 3-D-ish resistor network typical of IC power grids.
+    """
+    if n_cols is None:
+        n_cols = n_rows
+    if via_resistance <= 0:
+        raise ValueError("via_resistance must be positive")
+    rng = np.random.default_rng(seed)
+    n_layer = n_rows * n_cols
+
+    def node(layer: int, r: int, c: int) -> int:
+        return layer * n_layer + r * n_cols + c
+
+    rows, cols, weights = [], [], []
+    # Layer 0: horizontal wires.
+    for r in range(n_rows):
+        for c in range(n_cols - 1):
+            rows.append(node(0, r, c))
+            cols.append(node(0, r, c + 1))
+            weights.append(float(np.exp(rng.normal(0.0, 0.3))))
+    # Layer 1: vertical wires.
+    for r in range(n_rows - 1):
+        for c in range(n_cols):
+            rows.append(node(1, r, c))
+            cols.append(node(1, r + 1, c))
+            weights.append(float(np.exp(rng.normal(0.0, 0.3))))
+    # Vias.
+    for r in range(n_rows):
+        for c in range(n_cols):
+            rows.append(node(0, r, c))
+            cols.append(node(1, r, c))
+            weights.append(1.0 / via_resistance)
+    return WeightedGraph(2 * n_layer, np.array(rows), np.array(cols), np.array(weights))
+
+
+def rc_ladder(n_stages: int, *, rail_conductance: float = 1.0, tap_conductance: float = 0.5) -> WeightedGraph:
+    """Classic RC-ladder resistive skeleton: a rail with taps to a return node.
+
+    Node ``n_stages`` is the shared return (ground) node; nodes
+    ``0..n_stages-1`` form the rail.  Useful as a tiny analytically tractable
+    test circuit (its effective resistances have closed forms).
+    """
+    if n_stages < 1:
+        raise ValueError("rc_ladder needs at least one stage")
+    if rail_conductance <= 0 or tap_conductance <= 0:
+        raise ValueError("conductances must be positive")
+    rows, cols, weights = [], [], []
+    ground = n_stages
+    for i in range(n_stages - 1):
+        rows.append(i)
+        cols.append(i + 1)
+        weights.append(rail_conductance)
+    for i in range(n_stages):
+        rows.append(i)
+        cols.append(ground)
+        weights.append(tap_conductance)
+    return WeightedGraph(n_stages + 1, np.array(rows), np.array(cols), np.array(weights))

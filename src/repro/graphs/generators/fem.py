@@ -1,0 +1,203 @@
+"""Finite-element-style mesh generators (Delaunay triangulations).
+
+The paper's "airfoil", "crack" and "fe_4elt2" test cases are finite-element
+triangulations from the SuiteSparse collection.  We regenerate the same
+structural class by triangulating structured 2-D point clouds:
+
+* :func:`airfoil_mesh` -- points distributed around a NACA-style airfoil
+  profile inside a bounding box (analogue of "airfoil", density ~2.9).
+* :func:`cracked_plate_mesh` -- a rectangular plate with a slit removed and
+  refined nodes around the crack tip (analogue of "crack").
+* :func:`fe_mesh` -- a generally graded triangulation of the unit square
+  (analogue of "fe_4elt2").
+
+All generators return a connected :class:`~repro.graphs.WeightedGraph` whose
+edge weights are inverse edge lengths (the natural conductance of a uniform
+conductor between mesh nodes), plus the node coordinates used to build it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import Delaunay
+
+from repro.graphs.graph import WeightedGraph
+
+__all__ = ["delaunay_mesh", "airfoil_mesh", "cracked_plate_mesh", "fe_mesh"]
+
+
+def _triangulation_edges(points: np.ndarray) -> np.ndarray:
+    """Unique undirected edges of the Delaunay triangulation of ``points``."""
+    tri = Delaunay(points)
+    simplices = tri.simplices
+    edges = np.vstack(
+        [simplices[:, [0, 1]], simplices[:, [1, 2]], simplices[:, [0, 2]]]
+    )
+    lo = edges.min(axis=1)
+    hi = edges.max(axis=1)
+    return np.unique(np.column_stack([lo, hi]), axis=0)
+
+
+def _edge_conductances(points: np.ndarray, edges: np.ndarray, *, cap: float = 1e6) -> np.ndarray:
+    """Inverse-length conductances, capped to avoid numerically huge weights."""
+    lengths = np.linalg.norm(points[edges[:, 0]] - points[edges[:, 1]], axis=1)
+    lengths = np.maximum(lengths, 1.0 / cap)
+    return 1.0 / lengths
+
+
+def delaunay_mesh(
+    points: np.ndarray,
+    *,
+    max_edge_length: float | None = None,
+) -> WeightedGraph:
+    """Graph of the Delaunay triangulation of a 2-D point cloud.
+
+    Parameters
+    ----------
+    points:
+        ``(N, 2)`` array of node coordinates.
+    max_edge_length:
+        If given, triangulation edges longer than this are dropped (useful to
+        remove the long sliver edges that Delaunay adds across concavities,
+        e.g. across an airfoil hole or a crack slit).  If dropping edges
+        disconnects the mesh, the largest connected component is returned,
+        which may have fewer nodes than ``points``.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError("points must be an (N, 2) array")
+    if points.shape[0] < 3:
+        raise ValueError("need at least 3 points to triangulate")
+    edges = _triangulation_edges(points)
+    if max_edge_length is not None:
+        lengths = np.linalg.norm(points[edges[:, 0]] - points[edges[:, 1]], axis=1)
+        edges = edges[lengths <= max_edge_length]
+    weights = _edge_conductances(points, edges)
+    graph = WeightedGraph(points.shape[0], edges[:, 0], edges[:, 1], weights)
+    if not graph.is_connected():
+        graph, _ = graph.largest_connected_component()
+    return graph
+
+
+def _jittered_grid(
+    n_points: int,
+    rng: np.random.Generator,
+    *,
+    jitter: float = 0.35,
+    box: tuple[float, float, float, float] = (0.0, 1.0, 0.0, 1.0),
+) -> np.ndarray:
+    """Near-uniform jittered lattice of approximately ``n_points`` points."""
+    x0, x1, y0, y1 = box
+    aspect = (y1 - y0) / max(x1 - x0, 1e-12)
+    n_x = max(2, int(round(np.sqrt(n_points / max(aspect, 1e-12)))))
+    n_y = max(2, int(round(n_points / n_x)))
+    xs = np.linspace(x0, x1, n_x)
+    ys = np.linspace(y0, y1, n_y)
+    xx, yy = np.meshgrid(xs, ys)
+    points = np.column_stack([xx.ravel(), yy.ravel()])
+    dx = (x1 - x0) / max(n_x - 1, 1)
+    dy = (y1 - y0) / max(n_y - 1, 1)
+    noise = rng.uniform(-jitter, jitter, size=points.shape) * np.array([dx, dy])
+    return points + noise
+
+
+def airfoil_mesh(n_points: int = 4000, *, seed: int | None = 0) -> WeightedGraph:
+    """Airfoil-style FEM triangulation (analogue of the paper's "airfoil").
+
+    Points are graded: dense rings of nodes hug a NACA-0012-like airfoil
+    profile placed in a rectangular flow domain, and a coarser jittered
+    lattice fills the far field -- the same structure (a planar triangulation
+    with local refinement, density ~2.9) as the SuiteSparse ``airfoil`` mesh.
+    """
+    if n_points < 50:
+        raise ValueError("airfoil mesh needs at least 50 points")
+    rng = np.random.default_rng(seed)
+
+    # NACA-0012-ish thickness profile on a unit chord centred in the domain.
+    def thickness(x: np.ndarray) -> np.ndarray:
+        return 0.12 * (
+            1.4845 * np.sqrt(np.clip(x, 0.0, 1.0))
+            - 0.63 * x
+            - 1.758 * x**2
+            + 1.4215 * x**3
+            - 0.5075 * x**4
+        )
+
+    n_boundary = max(40, n_points // 5)
+    n_rings = 4
+    ring_points = []
+    chord_x = (1.0 - np.cos(np.linspace(0.0, np.pi, n_boundary // 2))) / 2.0
+    half_t = thickness(chord_x)
+    for ring in range(n_rings):
+        offset = 0.015 * (ring + 1)
+        upper = np.column_stack([chord_x, half_t + offset])
+        lower = np.column_stack([chord_x, -half_t - offset])
+        ring_points.append(upper)
+        ring_points.append(lower)
+    ring_points = np.vstack(ring_points)
+    # Shift airfoil into the middle of a [0,3] x [-1,1] domain.
+    ring_points[:, 0] += 1.0
+
+    n_field = max(n_points - ring_points.shape[0], n_boundary)
+    field = _jittered_grid(n_field, rng, box=(0.0, 3.0, -1.0, 1.0))
+    points = np.vstack([ring_points, field])
+
+    # Remove points that fall inside the airfoil body (a hole in the domain).
+    px = points[:, 0] - 1.0
+    inside = (px >= 0.0) & (px <= 1.0) & (np.abs(points[:, 1]) < thickness(np.clip(px, 0, 1)))
+    points = points[~inside]
+    return delaunay_mesh(points, max_edge_length=0.35)
+
+
+def cracked_plate_mesh(n_points: int = 4000, *, seed: int | None = 0) -> WeightedGraph:
+    """Cracked-plate FEM triangulation (analogue of the paper's "crack").
+
+    A unit plate with a horizontal slit from the left edge to the centre;
+    nodes are refined geometrically around the crack tip, as a fracture
+    mechanics mesh would be.
+    """
+    if n_points < 50:
+        raise ValueError("cracked plate mesh needs at least 50 points")
+    rng = np.random.default_rng(seed)
+
+    n_field = int(n_points * 0.7)
+    field = _jittered_grid(n_field, rng, box=(0.0, 1.0, 0.0, 1.0))
+
+    # Refinement fan around the crack tip at (0.5, 0.5).
+    n_refine = n_points - n_field
+    radii = 0.35 * rng.random(n_refine) ** 2 + 1e-3
+    angles = rng.uniform(0.0, 2.0 * np.pi, n_refine)
+    refine = np.column_stack(
+        [0.5 + radii * np.cos(angles), 0.5 + radii * np.sin(angles)]
+    )
+    points = np.vstack([field, refine])
+    points = points[(points[:, 0] >= 0) & (points[:, 0] <= 1) & (points[:, 1] >= 0) & (points[:, 1] <= 1)]
+
+    # Open the crack: push nodes close to the slit (y = 0.5, x < 0.5) away so
+    # the triangulation cannot connect across it except around the tip.
+    crack_mask = (points[:, 0] < 0.5) & (np.abs(points[:, 1] - 0.5) < 0.02)
+    points = points[~crack_mask]
+    shift = (points[:, 0] < 0.5) & (np.abs(points[:, 1] - 0.5) < 0.06)
+    points[shift, 1] += np.where(points[shift, 1] >= 0.5, 0.02, -0.02)
+    return delaunay_mesh(points, max_edge_length=0.12)
+
+
+def fe_mesh(n_points: int = 4000, *, grading: float = 2.0, seed: int | None = 0) -> WeightedGraph:
+    """General graded FEM triangulation (analogue of the paper's "fe_4elt2").
+
+    Points are sampled with a density gradient (finer towards one corner,
+    controlled by ``grading``) and triangulated, giving an unstructured planar
+    mesh with density close to 3.
+    """
+    if n_points < 10:
+        raise ValueError("fe mesh needs at least 10 points")
+    if grading <= 0:
+        raise ValueError("grading must be positive")
+    rng = np.random.default_rng(seed)
+    u = rng.random((n_points, 2))
+    # Power grading concentrates nodes near the origin corner.
+    points = u ** grading
+    # Add the four corners so the convex hull is the full unit square.
+    corners = np.array([[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]])
+    points = np.vstack([points, corners])
+    return delaunay_mesh(points)

@@ -1,0 +1,131 @@
+"""Random weighted graph generators used for tests, baselines and ablations.
+
+These wrap :mod:`networkx` generators (Erdos-Renyi, Watts-Strogatz, random
+regular) and add geometric and spanning-tree generators, always returning a
+connected :class:`~repro.graphs.WeightedGraph` with positive weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import networkx as nx
+
+from repro.graphs.graph import WeightedGraph
+
+__all__ = [
+    "erdos_renyi_graph",
+    "watts_strogatz_graph",
+    "random_regular_graph",
+    "random_geometric_graph",
+    "random_spanning_tree",
+]
+
+
+def _randomize_weights(
+    graph: WeightedGraph, weight_spread: float, rng: np.random.Generator
+) -> WeightedGraph:
+    if weight_spread <= 1.0:
+        return graph
+    log_spread = np.log(weight_spread)
+    weights = np.exp(rng.uniform(-log_spread, log_spread, size=graph.n_edges))
+    return graph.with_weights(weights)
+
+
+def _ensure_connected(graph: WeightedGraph, rng: np.random.Generator) -> WeightedGraph:
+    """Add minimal bridging edges between components if needed."""
+    if graph.is_connected():
+        return graph
+    n_comp, labels = graph.connected_components()
+    reps = [int(np.where(labels == c)[0][0]) for c in range(n_comp)]
+    edges = [(reps[i], reps[i + 1]) for i in range(n_comp - 1)]
+    return graph.add_edges(np.array(edges), np.ones(len(edges)))
+
+
+def erdos_renyi_graph(
+    n_nodes: int,
+    edge_probability: float,
+    *,
+    weight_spread: float = 1.0,
+    seed: int | None = 0,
+) -> WeightedGraph:
+    """Connected Erdos-Renyi ``G(n, p)`` graph with optional random weights."""
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ValueError("edge_probability must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    g = nx.fast_gnp_random_graph(n_nodes, edge_probability, seed=seed)
+    graph = _ensure_connected(WeightedGraph.from_networkx(g), rng)
+    return _randomize_weights(graph, weight_spread, rng)
+
+
+def watts_strogatz_graph(
+    n_nodes: int,
+    k: int = 4,
+    rewire_probability: float = 0.1,
+    *,
+    weight_spread: float = 1.0,
+    seed: int | None = 0,
+) -> WeightedGraph:
+    """Connected Watts-Strogatz small-world graph."""
+    rng = np.random.default_rng(seed)
+    g = nx.connected_watts_strogatz_graph(n_nodes, k, rewire_probability, seed=seed)
+    graph = WeightedGraph.from_networkx(g)
+    return _randomize_weights(graph, weight_spread, rng)
+
+
+def random_regular_graph(
+    n_nodes: int,
+    degree: int = 3,
+    *,
+    weight_spread: float = 1.0,
+    seed: int | None = 0,
+) -> WeightedGraph:
+    """Random ``degree``-regular graph (connected with high probability)."""
+    rng = np.random.default_rng(seed)
+    g = nx.random_regular_graph(degree, n_nodes, seed=seed)
+    graph = _ensure_connected(WeightedGraph.from_networkx(g), rng)
+    return _randomize_weights(graph, weight_spread, rng)
+
+
+def random_geometric_graph(
+    n_nodes: int,
+    radius: float | None = None,
+    *,
+    weight_spread: float = 1.0,
+    seed: int | None = 0,
+) -> WeightedGraph:
+    """Random geometric graph in the unit square (connected by construction).
+
+    ``radius`` defaults to ``1.5 * sqrt(log(n) / (pi n))``, just above the
+    connectivity threshold, yielding sparse planar-ish graphs similar to
+    extracted layouts.
+    """
+    if radius is None:
+        radius = 1.5 * float(np.sqrt(np.log(max(n_nodes, 2)) / (np.pi * max(n_nodes, 2))))
+    rng = np.random.default_rng(seed)
+    g = nx.random_geometric_graph(n_nodes, radius, seed=seed)
+    graph = _ensure_connected(WeightedGraph.from_networkx(g), rng)
+    return _randomize_weights(graph, weight_spread, rng)
+
+
+def random_spanning_tree(
+    n_nodes: int,
+    *,
+    weight_spread: float = 1.0,
+    seed: int | None = 0,
+) -> WeightedGraph:
+    """Random labelled tree on ``n_nodes`` nodes (random-attachment model).
+
+    Each node ``i >= 1`` attaches to a uniformly random earlier node, after a
+    random relabelling, which yields well-mixed random trees in O(n) time.
+    """
+    if n_nodes < 1:
+        raise ValueError("need at least one node")
+    rng = np.random.default_rng(seed)
+    if n_nodes == 1:
+        return WeightedGraph(1)
+    permutation = rng.permutation(n_nodes)
+    parents = np.array([rng.integers(0, i) for i in range(1, n_nodes)], dtype=np.int64)
+    rows = permutation[np.arange(1, n_nodes)]
+    cols = permutation[parents]
+    graph = WeightedGraph(n_nodes, rows, cols, np.ones(n_nodes - 1))
+    return _randomize_weights(graph, weight_spread, rng)

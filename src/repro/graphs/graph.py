@@ -1,0 +1,436 @@
+"""Weighted undirected graph data structure used throughout the library.
+
+The SGL algorithm manipulates resistor networks: weighted, undirected graphs
+whose Laplacian matrices are symmetric diagonally dominant M-matrices.  The
+:class:`WeightedGraph` class below is the common representation used by the
+generators, the measurement simulator, the learner and the metrics.
+
+Design notes
+------------
+* Edges are stored once in canonical orientation (``s < t``) as three parallel
+  numpy arrays (``rows``, ``cols``, ``weights``).  This keeps edge bookkeeping
+  (needed by the SGL densification loop, which repeatedly adds off-tree edges)
+  cheap and deterministic.
+* Matrix views (adjacency, Laplacian, incidence) are built lazily and cached;
+  mutating operations always return a *new* ``WeightedGraph`` so cached
+  matrices can never go stale.
+* Node identifiers are always ``0..n_nodes-1`` integers.  Conversions from
+  :mod:`networkx` relabel nodes accordingly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["WeightedGraph"]
+
+
+def _canonicalize_edges(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    weights: np.ndarray,
+    n_nodes: int,
+    *,
+    merge_duplicates: bool = True,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Return edges in canonical (s < t) order, sorted, duplicates merged.
+
+    Duplicate edges have their weights summed (parallel resistors in a
+    resistor network combine by summing conductances).  Self loops are
+    dropped because they do not contribute to a graph Laplacian.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if rows.shape != cols.shape or rows.shape != weights.shape:
+        raise ValueError("rows, cols and weights must have identical shapes")
+    if rows.ndim != 1:
+        raise ValueError("edge arrays must be one-dimensional")
+    if rows.size and (rows.min() < 0 or cols.min() < 0):
+        raise ValueError("negative node indices are not allowed")
+    if rows.size and (rows.max() >= n_nodes or cols.max() >= n_nodes):
+        raise ValueError("node index exceeds n_nodes")
+
+    # Drop self loops.
+    keep = rows != cols
+    rows, cols, weights = rows[keep], cols[keep], weights[keep]
+
+    lo = np.minimum(rows, cols)
+    hi = np.maximum(rows, cols)
+    if lo.size == 0:
+        return lo, hi, weights
+
+    order = np.lexsort((hi, lo))
+    lo, hi, weights = lo[order], hi[order], weights[order]
+
+    if merge_duplicates:
+        keys = lo * np.int64(n_nodes) + hi
+        unique_keys, inverse = np.unique(keys, return_inverse=True)
+        if unique_keys.size != keys.size:
+            merged_w = np.zeros(unique_keys.size, dtype=np.float64)
+            np.add.at(merged_w, inverse, weights)
+            lo = (unique_keys // n_nodes).astype(np.int64)
+            hi = (unique_keys % n_nodes).astype(np.int64)
+            weights = merged_w
+    return lo, hi, weights
+
+
+class WeightedGraph:
+    """A weighted undirected graph (resistor network).
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of nodes.  Nodes are labelled ``0 .. n_nodes - 1``.
+    rows, cols:
+        Endpoint arrays of the edges.  Orientation is irrelevant; edges are
+        stored canonically with ``rows < cols``.
+    weights:
+        Positive edge weights (conductances).  If omitted, unit weights are
+        used.
+
+    Notes
+    -----
+    Instances should be treated as immutable: all "mutating" operations
+    (:meth:`add_edges`, :meth:`with_weights`, :meth:`subgraph`, ...) return a
+    new graph.
+    """
+
+    __slots__ = (
+        "_n_nodes",
+        "_rows",
+        "_cols",
+        "_weights",
+        "_adjacency",
+        "_laplacian",
+        "_edge_set",
+    )
+
+    def __init__(
+        self,
+        n_nodes: int,
+        rows: Iterable[int] | np.ndarray = (),
+        cols: Iterable[int] | np.ndarray = (),
+        weights: Iterable[float] | np.ndarray | None = None,
+    ) -> None:
+        if n_nodes < 0:
+            raise ValueError("n_nodes must be non-negative")
+        rows = np.asarray(list(rows) if not isinstance(rows, np.ndarray) else rows)
+        cols = np.asarray(list(cols) if not isinstance(cols, np.ndarray) else cols)
+        if weights is None:
+            weights = np.ones(rows.shape, dtype=np.float64)
+        else:
+            weights = np.asarray(
+                list(weights) if not isinstance(weights, np.ndarray) else weights,
+                dtype=np.float64,
+            )
+        if rows.size and np.any(weights <= 0):
+            raise ValueError("edge weights must be strictly positive")
+        lo, hi, w = _canonicalize_edges(rows, cols, weights, n_nodes)
+        self._n_nodes = int(n_nodes)
+        self._rows = lo
+        self._cols = hi
+        self._weights = w
+        self._adjacency: sp.csr_matrix | None = None
+        self._laplacian: sp.csr_matrix | None = None
+        self._edge_set: set[tuple[int, int]] | None = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        n_nodes: int,
+        edges: Sequence[tuple[int, int]] | np.ndarray,
+        weights: Sequence[float] | np.ndarray | None = None,
+    ) -> "WeightedGraph":
+        """Build a graph from an ``(s, t)`` edge sequence."""
+        edges = np.asarray(edges, dtype=np.int64)
+        if edges.size == 0:
+            return cls(n_nodes)
+        if edges.ndim != 2 or edges.shape[1] != 2:
+            raise ValueError("edges must be an (m, 2) array-like")
+        return cls(n_nodes, edges[:, 0], edges[:, 1], weights)
+
+    @classmethod
+    def from_adjacency(cls, adjacency: sp.spmatrix | np.ndarray) -> "WeightedGraph":
+        """Build a graph from a symmetric weighted adjacency matrix."""
+        adj = sp.csr_matrix(adjacency)
+        if adj.shape[0] != adj.shape[1]:
+            raise ValueError("adjacency matrix must be square")
+        asym = abs(adj - adj.T)
+        if asym.nnz and asym.max() > 1e-10 * max(abs(adj).max(), 1.0):
+            raise ValueError("adjacency matrix must be symmetric")
+        coo = sp.triu(adj, k=1).tocoo()
+        return cls(adj.shape[0], coo.row, coo.col, coo.data)
+
+    @classmethod
+    def from_laplacian(cls, laplacian: sp.spmatrix | np.ndarray) -> "WeightedGraph":
+        """Build a graph from a graph Laplacian matrix ``L = D - W``."""
+        lap = sp.csr_matrix(laplacian)
+        coo = sp.triu(lap, k=1).tocoo()
+        mask = coo.data < 0
+        return cls(lap.shape[0], coo.row[mask], coo.col[mask], -coo.data[mask])
+
+    @classmethod
+    def from_networkx(cls, graph, weight: str = "weight") -> "WeightedGraph":
+        """Convert a :class:`networkx.Graph`; nodes are relabelled 0..N-1."""
+        import networkx as nx
+
+        if graph.is_directed():
+            graph = graph.to_undirected()
+        nodes = list(graph.nodes())
+        index = {node: i for i, node in enumerate(nodes)}
+        rows, cols, weights = [], [], []
+        for u, v, data in graph.edges(data=True):
+            rows.append(index[u])
+            cols.append(index[v])
+            weights.append(float(data.get(weight, 1.0)))
+        return cls(len(nodes), np.array(rows, dtype=np.int64),
+                   np.array(cols, dtype=np.int64), np.array(weights))
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes ``N``."""
+        return self._n_nodes
+
+    @property
+    def n_edges(self) -> int:
+        """Number of (undirected) edges ``|E|``."""
+        return int(self._rows.size)
+
+    @property
+    def rows(self) -> np.ndarray:
+        """Edge source endpoints (canonical, ``rows < cols``).  Read-only view."""
+        view = self._rows.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def cols(self) -> np.ndarray:
+        """Edge target endpoints (canonical).  Read-only view."""
+        view = self._cols.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Edge weights (conductances).  Read-only view."""
+        view = self._weights.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def edges(self) -> np.ndarray:
+        """``(m, 2)`` array of canonical edges."""
+        return np.column_stack([self._rows, self._cols]) if self.n_edges else np.empty((0, 2), dtype=np.int64)
+
+    @property
+    def density(self) -> float:
+        """Edge density ``|E| / |V|`` as reported in the paper's figures."""
+        if self._n_nodes == 0:
+            return 0.0
+        return self.n_edges / self._n_nodes
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of all edge weights."""
+        return float(self._weights.sum())
+
+    # ------------------------------------------------------------------
+    # Matrix views
+    # ------------------------------------------------------------------
+    def adjacency(self) -> sp.csr_matrix:
+        """Symmetric weighted adjacency matrix ``W`` (CSR, cached)."""
+        if self._adjacency is None:
+            n = self._n_nodes
+            if self.n_edges == 0:
+                self._adjacency = sp.csr_matrix((n, n))
+            else:
+                data = np.concatenate([self._weights, self._weights])
+                i = np.concatenate([self._rows, self._cols])
+                j = np.concatenate([self._cols, self._rows])
+                self._adjacency = sp.csr_matrix((data, (i, j)), shape=(n, n))
+        return self._adjacency
+
+    def degrees(self) -> np.ndarray:
+        """Weighted node degrees ``d_i = sum_j W_ij``."""
+        return np.asarray(self.adjacency().sum(axis=1)).ravel()
+
+    def laplacian(self) -> sp.csr_matrix:
+        """Graph Laplacian ``L = D - W`` (CSR, cached)."""
+        if self._laplacian is None:
+            adj = self.adjacency()
+            degree = sp.diags(np.asarray(adj.sum(axis=1)).ravel())
+            self._laplacian = (degree - adj).tocsr()
+        return self._laplacian
+
+    def incidence_matrix(self, oriented: bool = True) -> sp.csr_matrix:
+        """Edge-node incidence matrix ``B`` of shape ``(|E|, N)``.
+
+        With ``oriented=True`` (the default) row ``p`` of ``B`` is
+        ``e_s - e_t`` for edge ``p = (s, t)``, matching Eq. (16) of the paper,
+        so that ``L = B^T W B`` with ``W = diag(weights)``.
+        """
+        m, n = self.n_edges, self._n_nodes
+        if m == 0:
+            return sp.csr_matrix((0, n))
+        data = np.ones(2 * m)
+        if oriented:
+            data[m:] = -1.0
+        rows = np.concatenate([np.arange(m), np.arange(m)])
+        cols = np.concatenate([self._rows, self._cols])
+        return sp.csr_matrix((data, (rows, cols)), shape=(m, n))
+
+    def weight_matrix(self) -> sp.dia_matrix:
+        """Diagonal edge-weight matrix ``W*`` of Sec. II-D."""
+        return sp.diags(self._weights) if self.n_edges else sp.diags(np.zeros(0))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def edge_set(self) -> set[tuple[int, int]]:
+        """Set of canonical ``(s, t)`` tuples (cached)."""
+        if self._edge_set is None:
+            self._edge_set = set(zip(self._rows.tolist(), self._cols.tolist()))
+        return self._edge_set
+
+    def has_edge(self, s: int, t: int) -> bool:
+        """Whether the undirected edge ``(s, t)`` is present."""
+        if s == t:
+            return False
+        key = (min(s, t), max(s, t))
+        return key in self.edge_set()
+
+    def edge_weight(self, s: int, t: int) -> float:
+        """Weight of edge ``(s, t)``; raises ``KeyError`` if absent."""
+        if not self.has_edge(s, t):
+            raise KeyError(f"edge ({s}, {t}) not in graph")
+        lo, hi = min(s, t), max(s, t)
+        mask = (self._rows == lo) & (self._cols == hi)
+        return float(self._weights[mask][0])
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Sorted array of neighbours of ``node``."""
+        adj = self.adjacency()
+        return adj.indices[adj.indptr[node]:adj.indptr[node + 1]].copy()
+
+    def is_connected(self) -> bool:
+        """Whether the graph is connected (isolated nodes count as components)."""
+        if self._n_nodes <= 1:
+            return True
+        n_components, _ = sp.csgraph.connected_components(self.adjacency(), directed=False)
+        return n_components == 1
+
+    def connected_components(self) -> tuple[int, np.ndarray]:
+        """Number of connected components and per-node component labels."""
+        return sp.csgraph.connected_components(self.adjacency(), directed=False)
+
+    # ------------------------------------------------------------------
+    # Derivation of new graphs
+    # ------------------------------------------------------------------
+    def add_edges(
+        self,
+        edges: Sequence[tuple[int, int]] | np.ndarray,
+        weights: Sequence[float] | np.ndarray,
+    ) -> "WeightedGraph":
+        """Return a new graph with the given edges added.
+
+        Weights of duplicated edges are summed (parallel conductances).
+        """
+        edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        weights = np.asarray(weights, dtype=np.float64).ravel()
+        if edges.shape[0] != weights.size:
+            raise ValueError("number of edges and weights must match")
+        rows = np.concatenate([self._rows, edges[:, 0]])
+        cols = np.concatenate([self._cols, edges[:, 1]])
+        w = np.concatenate([self._weights, weights])
+        return WeightedGraph(self._n_nodes, rows, cols, w)
+
+    def with_weights(self, weights: Sequence[float] | np.ndarray) -> "WeightedGraph":
+        """Return a copy with edge weights replaced (same edge order)."""
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != self._weights.shape:
+            raise ValueError("weights must match the number of edges")
+        return WeightedGraph(self._n_nodes, self._rows, self._cols, weights)
+
+    def scaled(self, factor: float) -> "WeightedGraph":
+        """Return a copy with all edge weights multiplied by ``factor``."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return self.with_weights(self._weights * factor)
+
+    def subgraph(self, nodes: Sequence[int] | np.ndarray) -> "WeightedGraph":
+        """Induced subgraph on ``nodes`` (relabelled 0..len(nodes)-1)."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if np.unique(nodes).size != nodes.size:
+            raise ValueError("subgraph nodes must be unique")
+        mapping = -np.ones(self._n_nodes, dtype=np.int64)
+        mapping[nodes] = np.arange(nodes.size)
+        keep = (mapping[self._rows] >= 0) & (mapping[self._cols] >= 0)
+        return WeightedGraph(
+            nodes.size,
+            mapping[self._rows[keep]],
+            mapping[self._cols[keep]],
+            self._weights[keep],
+        )
+
+    def largest_connected_component(self) -> tuple["WeightedGraph", np.ndarray]:
+        """Return the induced subgraph of the largest component and its node ids."""
+        n_components, labels = self.connected_components()
+        if n_components == 1:
+            return self, np.arange(self._n_nodes)
+        counts = np.bincount(labels)
+        nodes = np.where(labels == np.argmax(counts))[0]
+        return self.subgraph(nodes), nodes
+
+    def union(self, other: "WeightedGraph") -> "WeightedGraph":
+        """Edge-union of two graphs on the same node set (weights summed)."""
+        if other.n_nodes != self._n_nodes:
+            raise ValueError("graphs must have the same number of nodes")
+        return self.add_edges(other.edges, other.weights)
+
+    def copy(self) -> "WeightedGraph":
+        """Return a shallow copy."""
+        return WeightedGraph(self._n_nodes, self._rows, self._cols, self._weights)
+
+    def to_networkx(self):
+        """Convert to a :class:`networkx.Graph` with ``weight`` edge attributes."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self._n_nodes))
+        graph.add_weighted_edges_from(
+            zip(self._rows.tolist(), self._cols.tolist(), self._weights.tolist())
+        )
+        return graph
+
+    # ------------------------------------------------------------------
+    # Dunder methods
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WeightedGraph(n_nodes={self._n_nodes}, n_edges={self.n_edges}, "
+            f"density={self.density:.2f})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WeightedGraph):
+            return NotImplemented
+        return (
+            self._n_nodes == other._n_nodes
+            and self.n_edges == other.n_edges
+            and np.array_equal(self._rows, other._rows)
+            and np.array_equal(self._cols, other._cols)
+            and np.allclose(self._weights, other._weights)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - graphs used as dict keys rarely
+        return hash((self._n_nodes, self.n_edges))

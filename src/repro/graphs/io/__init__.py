@@ -1,0 +1,15 @@
+"""Graph I/O: Matrix-Market and edge-list formats, plus the test-suite registry."""
+
+from repro.graphs.io.matrix_market import read_matrix_market, write_matrix_market
+from repro.graphs.io.edgelist import read_edgelist, write_edgelist
+from repro.graphs.io.suite import TestCase, get_test_case, list_test_cases
+
+__all__ = [
+    "read_matrix_market",
+    "write_matrix_market",
+    "read_edgelist",
+    "write_edgelist",
+    "TestCase",
+    "get_test_case",
+    "list_test_cases",
+]

@@ -1,0 +1,73 @@
+"""Plain-text weighted edge-list I/O (``s t weight`` per line)."""
+
+from __future__ import annotations
+
+import pathlib
+from typing import TextIO
+
+import numpy as np
+
+from repro.graphs.graph import WeightedGraph
+
+__all__ = ["read_edgelist", "write_edgelist"]
+
+
+def _open(path_or_file: str | pathlib.Path | TextIO, mode: str):
+    if hasattr(path_or_file, "read") or hasattr(path_or_file, "write"):
+        return path_or_file, False
+    return open(path_or_file, mode), True
+
+
+def write_edgelist(
+    path_or_file: str | pathlib.Path | TextIO,
+    graph: WeightedGraph,
+    *,
+    header: bool = True,
+) -> None:
+    """Write ``graph`` as whitespace-separated ``s t weight`` lines.
+
+    With ``header=True`` the first non-comment line is ``n_nodes n_edges`` so
+    isolated nodes survive a round trip.
+    """
+    handle, should_close = _open(path_or_file, "w")
+    try:
+        if header:
+            handle.write(f"# repro edge list\n{graph.n_nodes} {graph.n_edges}\n")
+        for s, t, w in zip(graph.rows, graph.cols, graph.weights):
+            handle.write(f"{int(s)} {int(t)} {w:.17g}\n")
+    finally:
+        if should_close:
+            handle.close()
+
+
+def read_edgelist(path_or_file: str | pathlib.Path | TextIO) -> WeightedGraph:
+    """Read an edge list written by :func:`write_edgelist` (or any ``s t [w]`` file)."""
+    handle, should_close = _open(path_or_file, "r")
+    try:
+        lines = [ln.strip() for ln in handle if ln.strip() and not ln.lstrip().startswith("#")]
+    finally:
+        if should_close:
+            handle.close()
+    if not lines:
+        return WeightedGraph(0)
+
+    n_nodes = None
+    start = 0
+    first = lines[0].split()
+    if len(first) == 2 and first[0].isdigit() and first[1].isdigit():
+        # Header line: n_nodes n_edges.
+        n_nodes = int(first[0])
+        start = 1
+
+    rows, cols, weights = [], [], []
+    for line in lines[start:]:
+        parts = line.split()
+        rows.append(int(parts[0]))
+        cols.append(int(parts[1]))
+        weights.append(float(parts[2]) if len(parts) > 2 else 1.0)
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if n_nodes is None:
+        n_nodes = int(max(rows.max(initial=-1), cols.max(initial=-1)) + 1) if rows.size else 0
+    return WeightedGraph(n_nodes, rows, cols, weights)

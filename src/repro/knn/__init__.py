@@ -1,0 +1,24 @@
+"""k-nearest-neighbour graph construction and spanning-tree extraction.
+
+Step 1 of the SGL algorithm builds a connected kNN graph from the voltage
+measurement vectors and extracts its maximum spanning tree as the initial
+graph.  This subpackage provides:
+
+* :mod:`repro.knn.knn_graph` -- exact kNN graphs (KD-tree based) with the
+  paper's inverse-squared-distance edge weights and connectivity repair;
+* :mod:`repro.knn.nsw` -- a small navigable-small-world approximate
+  nearest-neighbour index mirroring the HNSW reference [8] of the paper;
+* :mod:`repro.knn.mst` -- maximum/minimum spanning trees.
+"""
+
+from repro.knn.knn_graph import knn_graph, knn_edges
+from repro.knn.nsw import NSWIndex
+from repro.knn.mst import maximum_spanning_tree, minimum_spanning_tree
+
+__all__ = [
+    "knn_graph",
+    "knn_edges",
+    "NSWIndex",
+    "maximum_spanning_tree",
+    "minimum_spanning_tree",
+]

@@ -1,0 +1,187 @@
+"""k-nearest-neighbour graph construction from measurement vectors.
+
+Nodes of the learned graph correspond to rows of the voltage measurement
+matrix ``X`` (each node's feature vector is its ``M`` measured voltages).  The
+kNN graph connects each node to its ``k`` most similar nodes in Euclidean
+distance; following Eqs. (14)-(15) of the paper, the natural edge weight is
+
+    w_st = M / ||x_s - x_t||^2,
+
+so that the maximum spectral-embedding distortion of the optimal graph is one.
+Connectivity (required for a well-defined Laplacian pseudo-inverse and MST)
+is repaired, if needed, by linking nearest components.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Literal
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.graphs.graph import WeightedGraph
+
+__all__ = ["knn_edges", "knn_graph"]
+
+WeightScheme = Literal["sgl", "inverse_distance", "gaussian", "unit"]
+
+
+def knn_edges(
+    features: np.ndarray,
+    k: int,
+    *,
+    index: "object | None" = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Directed kNN edge list and distances.
+
+    Parameters
+    ----------
+    features:
+        ``(N, M)`` feature matrix (rows are nodes).
+    k:
+        Number of neighbours per node (excluding the node itself).
+    index:
+        Optional pre-built nearest-neighbour index exposing a
+        ``query(features, k)`` method (e.g. :class:`repro.knn.NSWIndex`);
+        defaults to an exact ``scipy.spatial.cKDTree``.
+
+    Returns
+    -------
+    (edges, distances):
+        ``edges`` is an ``(N*k, 2)`` array of directed pairs ``(i, neighbour)``
+        and ``distances`` the corresponding Euclidean distances.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    if features.ndim != 2:
+        raise ValueError("features must be a 2-D (N, M) array")
+    n = features.shape[0]
+    if n < 2:
+        raise ValueError("need at least two nodes")
+    if not 1 <= k < n:
+        raise ValueError("k must satisfy 1 <= k < N")
+
+    if index is None:
+        tree = cKDTree(features)
+        distances, neighbors = tree.query(features, k=k + 1)
+    else:
+        distances, neighbors = index.query(features, k=k + 1)
+        distances = np.asarray(distances, dtype=np.float64)
+        neighbors = np.asarray(neighbors, dtype=np.int64)
+
+    sources = np.repeat(np.arange(n), neighbors.shape[1])
+    targets = neighbors.ravel()
+    dists = distances.ravel()
+    mask = sources != targets
+    edges = np.column_stack([sources[mask], targets[mask]])
+    dists = dists[mask]
+
+    # Keep only k neighbours per source (the self-match removal may leave k+1
+    # for nodes that did not match themselves, e.g. duplicated points).
+    keep = np.ones(edges.shape[0], dtype=bool)
+    counts = np.zeros(n, dtype=np.int64)
+    for idx, s in enumerate(edges[:, 0]):
+        counts[s] += 1
+        if counts[s] > k:
+            keep[idx] = False
+    return edges[keep], dists[keep]
+
+
+def _edge_weights(
+    distances: np.ndarray,
+    n_measurements: int,
+    scheme: WeightScheme | Callable[[np.ndarray], np.ndarray],
+    *,
+    gaussian_bandwidth: float | None = None,
+) -> np.ndarray:
+    if callable(scheme):
+        return np.asarray(scheme(distances), dtype=np.float64)
+    # Guard against zero distances (duplicate measurement vectors).
+    floor = max(np.max(distances), 1.0) * 1e-12
+    safe = np.maximum(distances, floor)
+    if scheme == "sgl":
+        return n_measurements / safe**2
+    if scheme == "inverse_distance":
+        return 1.0 / safe
+    if scheme == "gaussian":
+        bandwidth = gaussian_bandwidth if gaussian_bandwidth is not None else float(np.median(safe))
+        return np.exp(-(safe**2) / (2.0 * bandwidth**2))
+    if scheme == "unit":
+        return np.ones_like(safe)
+    raise ValueError(f"unknown weight scheme {scheme!r}")
+
+
+def _connect_components(
+    graph: WeightedGraph,
+    features: np.ndarray,
+    n_measurements: int,
+    scheme: WeightScheme | Callable[[np.ndarray], np.ndarray],
+) -> WeightedGraph:
+    """Link disconnected components through their closest node pairs."""
+    n_components, labels = graph.connected_components()
+    while n_components > 1:
+        # Connect the smallest component to the closest node outside it.
+        counts = np.bincount(labels)
+        smallest = int(np.argmin(counts))
+        inside = np.where(labels == smallest)[0]
+        outside = np.where(labels != smallest)[0]
+        tree = cKDTree(features[outside])
+        dists, idx = tree.query(features[inside], k=1)
+        best = int(np.argmin(dists))
+        s = int(inside[best])
+        t = int(outside[int(idx[best])])
+        weight = _edge_weights(np.array([dists[best]]), n_measurements, scheme)
+        graph = graph.add_edges(np.array([[s, t]]), weight)
+        n_components, labels = graph.connected_components()
+    return graph
+
+
+def knn_graph(
+    features: np.ndarray,
+    k: int = 5,
+    *,
+    weight_scheme: WeightScheme | Callable[[np.ndarray], np.ndarray] = "sgl",
+    ensure_connected: bool = True,
+    gaussian_bandwidth: float | None = None,
+    index: "object | None" = None,
+) -> WeightedGraph:
+    """Undirected kNN graph over the rows of ``features``.
+
+    Parameters
+    ----------
+    features:
+        ``(N, M)`` matrix whose rows are the per-node measurement vectors
+        (``X`` in the paper).
+    k:
+        Number of neighbours; the paper uses ``k = 5`` throughout.
+    weight_scheme:
+        ``"sgl"`` (default) uses the paper's ``M / distance^2`` conductances;
+        ``"inverse_distance"``, ``"gaussian"`` and ``"unit"`` are provided for
+        baselines; a callable mapping distances to weights is also accepted.
+    ensure_connected:
+        Repair connectivity by linking nearest components (the paper requires
+        a connected initial graph).
+    index:
+        Optional approximate nearest-neighbour index (see :func:`knn_edges`).
+    """
+    features = np.asarray(features, dtype=np.float64)
+    edges, dists = knn_edges(features, k, index=index)
+    n = features.shape[0]
+    n_measurements = features.shape[1]
+    weights = _edge_weights(
+        dists, n_measurements, weight_scheme, gaussian_bandwidth=gaussian_bandwidth
+    )
+    # Duplicate (i -> j) and (j -> i) edges are merged by WeightedGraph with
+    # weights summed; halve them so mutual neighbours get the intended weight.
+    lo = np.minimum(edges[:, 0], edges[:, 1])
+    hi = np.maximum(edges[:, 0], edges[:, 1])
+    keys = lo * np.int64(n) + hi
+    unique_keys, first_idx = np.unique(keys, return_index=True)
+    graph = WeightedGraph(
+        n,
+        lo[first_idx],
+        hi[first_idx],
+        weights[first_idx],
+    )
+    if ensure_connected and not graph.is_connected():
+        graph = _connect_components(graph, features, n_measurements, weight_scheme)
+    return graph

@@ -1,0 +1,161 @@
+"""Navigable-small-world approximate nearest-neighbour index.
+
+The paper cites HNSW [8] as the scalable kNN construction backend.  Exact
+KD-tree queries are perfectly adequate at laptop scale (and are the default in
+:func:`repro.knn.knn_graph`), but we also provide a small greedy
+navigable-small-world (NSW) index -- the single-layer core of HNSW -- so the
+kNN construction path of the paper can be exercised end to end without any
+external dependency and so the exact-vs-approximate trade-off can be ablated.
+
+The index supports incremental insertion and greedy best-first search with a
+configurable beam width (``ef``).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+__all__ = ["NSWIndex"]
+
+
+class NSWIndex:
+    """Greedy navigable-small-world graph index for approximate kNN queries.
+
+    Parameters
+    ----------
+    n_links:
+        Number of bidirectional links created per inserted point (``M`` in
+        HNSW terminology).
+    ef_construction:
+        Beam width used while inserting points.
+    ef_search:
+        Default beam width used while querying; raise it for better recall.
+    seed:
+        Seed controlling the insertion order shuffle.
+    """
+
+    def __init__(
+        self,
+        n_links: int = 8,
+        *,
+        ef_construction: int = 32,
+        ef_search: int = 32,
+        seed: int | None = 0,
+    ) -> None:
+        if n_links < 1:
+            raise ValueError("n_links must be at least 1")
+        if ef_construction < 1 or ef_search < 1:
+            raise ValueError("beam widths must be at least 1")
+        self.n_links = int(n_links)
+        self.ef_construction = int(ef_construction)
+        self.ef_search = int(ef_search)
+        self.seed = seed
+        self._points: np.ndarray | None = None
+        self._neighbors: list[list[int]] = []
+        self._entry_point: int | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def n_points(self) -> int:
+        """Number of indexed points."""
+        return 0 if self._points is None else self._points.shape[0]
+
+    def _distance(self, query: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+        return np.linalg.norm(self._points[candidates] - query, axis=1)
+
+    def _search_layer(self, query: np.ndarray, ef: int) -> list[tuple[float, int]]:
+        """Greedy best-first search; returns up to ``ef`` (distance, id) pairs."""
+        entry = self._entry_point
+        dist_entry = float(np.linalg.norm(self._points[entry] - query))
+        visited = {entry}
+        # Min-heap of candidates to expand; max-heap (negated) of best found.
+        candidates = [(dist_entry, entry)]
+        best: list[tuple[float, int]] = [(-dist_entry, entry)]
+        while candidates:
+            dist, node = heapq.heappop(candidates)
+            worst_best = -best[0][0]
+            if dist > worst_best and len(best) >= ef:
+                break
+            for neighbor in self._neighbors[node]:
+                if neighbor in visited:
+                    continue
+                visited.add(neighbor)
+                d = float(np.linalg.norm(self._points[neighbor] - query))
+                if len(best) < ef or d < -best[0][0]:
+                    heapq.heappush(candidates, (d, neighbor))
+                    heapq.heappush(best, (-d, neighbor))
+                    if len(best) > ef:
+                        heapq.heappop(best)
+        return sorted((-negd, node) for negd, node in best)
+
+    # ------------------------------------------------------------------
+    def build(self, points: np.ndarray) -> "NSWIndex":
+        """Build the index over ``points`` (``(N, M)`` array).  Returns ``self``."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise ValueError("points must be a 2-D array")
+        rng = np.random.default_rng(self.seed)
+        order = rng.permutation(points.shape[0])
+        self._points = points
+        self._neighbors = [[] for _ in range(points.shape[0])]
+        self._entry_point = None
+        for node in order:
+            self._insert(int(node))
+        return self
+
+    def _insert(self, node: int) -> None:
+        if self._entry_point is None:
+            self._entry_point = node
+            return
+        found = self._search_layer(self._points[node], self.ef_construction)
+        links = [idx for _, idx in found[: self.n_links] if idx != node]
+        for neighbor in links:
+            self._neighbors[node].append(neighbor)
+            self._neighbors[neighbor].append(node)
+            # Prune neighbours that exceed the link budget, keeping closest.
+            if len(self._neighbors[neighbor]) > 2 * self.n_links:
+                cand = np.asarray(self._neighbors[neighbor])
+                dists = self._distance(self._points[neighbor], cand)
+                keep = cand[np.argsort(dists)[: 2 * self.n_links]]
+                self._neighbors[neighbor] = keep.tolist()
+
+    # ------------------------------------------------------------------
+    def query(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Approximate ``k`` nearest neighbours for each query row.
+
+        Returns ``(distances, indices)`` arrays of shape ``(n_queries, k)``,
+        mirroring :meth:`scipy.spatial.cKDTree.query` so the index can be
+        passed straight to :func:`repro.knn.knn_graph`.
+        """
+        if self._points is None:
+            raise RuntimeError("index has not been built yet")
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        k = min(k, self.n_points)
+        ef = max(self.ef_search, k)
+        distances = np.full((queries.shape[0], k), np.inf)
+        indices = np.zeros((queries.shape[0], k), dtype=np.int64)
+        for row, query in enumerate(queries):
+            found = self._search_layer(query, ef)[:k]
+            for col, (dist, node) in enumerate(found):
+                distances[row, col] = dist
+                indices[row, col] = node
+            # Pad with the last found neighbour if fewer than k were reached
+            # (possible only on pathological disconnected indexes).
+            for col in range(len(found), k):
+                distances[row, col] = found[-1][0] if found else np.inf
+                indices[row, col] = found[-1][1] if found else 0
+        return distances, indices
+
+    def recall_against_exact(self, points: np.ndarray, k: int) -> float:
+        """Fraction of true kNN recovered by the index (diagnostic helper)."""
+        from scipy.spatial import cKDTree
+
+        points = np.asarray(points, dtype=np.float64)
+        exact = cKDTree(self._points).query(points, k=k)[1]
+        approx = self.query(points, k=k)[1]
+        hits = 0
+        for row in range(points.shape[0]):
+            hits += len(set(exact[row].tolist()) & set(approx[row].tolist()))
+        return hits / float(points.shape[0] * k)

@@ -1,0 +1,174 @@
+"""Eigensolvers for the smallest nontrivial Laplacian eigenpairs.
+
+Step 2 of the SGL algorithm needs the first ``r`` nontrivial eigenvectors of
+the current graph Laplacian.  :func:`laplacian_eigenpairs` provides a single
+entry point with three backends:
+
+* ``"dense"``        -- ``numpy.linalg.eigh`` on the full matrix (small N,
+  also the reference the other backends are tested against);
+* ``"shift-invert"`` -- Lanczos (ARPACK ``eigsh``) in shift-invert mode with a
+  tiny positive shift, the workhorse for medium/large sparse Laplacians;
+* ``"lobpcg"``       -- LOBPCG with Jacobi preconditioning and explicit
+  deflation of the all-one null vector, useful when a good initial subspace
+  is available (the multilevel solver uses it for refinement).
+
+The trivial eigenpair (eigenvalue 0, constant eigenvector) is dropped by
+default, matching the paper's use of ``u_2 ... u_r``.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.graphs.graph import WeightedGraph
+
+__all__ = ["laplacian_eigenpairs", "rayleigh_ritz"]
+
+
+def _as_laplacian(graph_or_laplacian: WeightedGraph | sp.spmatrix | np.ndarray) -> sp.csr_matrix:
+    if isinstance(graph_or_laplacian, WeightedGraph):
+        return graph_or_laplacian.laplacian()
+    return sp.csr_matrix(graph_or_laplacian)
+
+
+def rayleigh_ritz(
+    laplacian: sp.spmatrix | np.ndarray,
+    basis: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Rayleigh-Ritz extraction of approximate eigenpairs from a subspace.
+
+    Orthonormalises ``basis`` (columns), projects the Laplacian onto it and
+    solves the small dense eigenproblem.  Returns Ritz values (ascending) and
+    Ritz vectors lifted back to the full space.
+    """
+    lap = _as_laplacian(laplacian)
+    q, _ = np.linalg.qr(np.asarray(basis, dtype=np.float64))
+    small = q.T @ (lap @ q)
+    small = 0.5 * (small + small.T)
+    values, vectors = np.linalg.eigh(small)
+    return values, q @ vectors
+
+
+def _dense_eigenpairs(lap: sp.csr_matrix, k: int) -> tuple[np.ndarray, np.ndarray]:
+    values, vectors = np.linalg.eigh(lap.toarray())
+    return values[: k], vectors[:, : k]
+
+
+def _shift_invert_eigenpairs(
+    lap: sp.csr_matrix, k: int, tol: float, seed: int | None
+) -> tuple[np.ndarray, np.ndarray]:
+    n = lap.shape[0]
+    # Shift-invert around a tiny negative sigma keeps (L - sigma I) SPD and
+    # factorisable even though L itself is singular.
+    scale = float(lap.diagonal().max()) if n else 1.0
+    sigma = -1e-6 * max(scale, 1.0)
+    rng = np.random.default_rng(seed)
+    v0 = rng.standard_normal(n)
+    values, vectors = spla.eigsh(
+        lap.tocsc(), k=min(k, n - 1), sigma=sigma, which="LM", tol=tol, v0=v0
+    )
+    order = np.argsort(values)
+    return values[order], vectors[:, order]
+
+
+def _lobpcg_eigenpairs(
+    lap: sp.csr_matrix,
+    k: int,
+    tol: float,
+    seed: int | None,
+    initial: np.ndarray | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    n = lap.shape[0]
+    rng = np.random.default_rng(seed)
+    if initial is None:
+        initial = rng.standard_normal((n, k))
+    ones = np.ones((n, 1)) / np.sqrt(n)
+    diag = lap.diagonal()
+    inv_diag = np.where(diag > 0, 1.0 / np.maximum(diag, 1e-300), 0.0)
+    precond = spla.LinearOperator((n, n), matvec=lambda v: inv_diag * v)
+    values, vectors = spla.lobpcg(
+        lap,
+        initial,
+        M=precond,
+        Y=ones,
+        tol=tol if tol > 0 else 1e-8,
+        maxiter=max(200, 4 * k),
+        largest=False,
+    )
+    order = np.argsort(values)
+    return values[order], vectors[:, order]
+
+
+def laplacian_eigenpairs(
+    graph_or_laplacian: WeightedGraph | sp.spmatrix | np.ndarray,
+    k: int,
+    *,
+    method: Literal["auto", "dense", "shift-invert", "lobpcg"] = "auto",
+    drop_trivial: bool = True,
+    tol: float = 0.0,
+    seed: int | None = 0,
+    initial: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Smallest Laplacian eigenpairs, ascending.
+
+    Parameters
+    ----------
+    graph_or_laplacian:
+        Graph or sparse/dense Laplacian (assumed connected for the trivial
+        eigenpair conventions to hold).
+    k:
+        Number of *nontrivial* eigenpairs requested when ``drop_trivial`` is
+        True (the default); otherwise the total number of smallest eigenpairs.
+    method:
+        Backend; ``"auto"`` picks dense for small problems and shift-invert
+        Lanczos otherwise.
+    drop_trivial:
+        Drop the near-zero eigenvalue and its constant eigenvector, returning
+        ``lambda_2 <= ... <= lambda_{k+1}`` and ``u_2 ... u_{k+1}``.
+    tol:
+        Backend tolerance (0 means backend default / machine precision).
+    seed:
+        Seed for the iterative backends' random starting vectors.
+    initial:
+        Optional initial subspace for the LOBPCG backend.
+
+    Returns
+    -------
+    (eigenvalues, eigenvectors):
+        ``eigenvalues`` has shape ``(k,)``; ``eigenvectors`` has shape
+        ``(N, k)`` with unit-norm columns.
+    """
+    lap = _as_laplacian(graph_or_laplacian).tocsr()
+    n = lap.shape[0]
+    if n < 2:
+        raise ValueError("need at least two nodes for nontrivial eigenpairs")
+    if k < 1:
+        raise ValueError("k must be at least 1")
+
+    n_wanted = k + 1 if drop_trivial else k
+    n_wanted = min(n_wanted, n)
+
+    if method == "auto":
+        method = "dense" if (n <= 600 or n_wanted >= n - 2) else "shift-invert"
+
+    if method == "dense":
+        values, vectors = _dense_eigenpairs(lap, n_wanted)
+    elif method == "shift-invert":
+        values, vectors = _shift_invert_eigenpairs(lap, n_wanted, tol, seed)
+    elif method == "lobpcg":
+        if drop_trivial:
+            # LOBPCG deflates the constant vector explicitly, so it already
+            # returns nontrivial pairs; request exactly k of them.
+            values, vectors = _lobpcg_eigenpairs(lap, k, tol, seed, initial)
+            return values[:k], vectors[:, :k]
+        values, vectors = _lobpcg_eigenpairs(lap, n_wanted, tol, seed, initial)
+    else:
+        raise ValueError(f"unknown method {method!r}")
+
+    if drop_trivial:
+        values, vectors = values[1:], vectors[:, 1:]
+    return values[:k], vectors[:, :k]

@@ -1,0 +1,164 @@
+"""Laplacian pseudo-inverse operations and effective-resistance computations.
+
+Effective resistance is the central quantity of the paper: the SGL-learned
+graph is built so that its effective-resistance distances encode the l2
+distances between the measured voltage vectors (Secs. II-C and II-D), and
+Fig. 7 evaluates learned graphs by correlating effective resistances against
+the originals.  This module provides:
+
+* :func:`laplacian_pseudoinverse` -- dense ``L^+`` for small graphs;
+* :func:`effective_resistance` -- exact ``R_eff(s, t)`` for arbitrary node
+  pairs via Laplacian solves;
+* :func:`effective_resistance_matrix` -- all-pairs matrix (small graphs);
+* :func:`effective_resistances_jl` -- the Johnson-Lindenstrauss / Spielman-
+  Srivastava sketch of Sec. II-D, computing (1 +/- eps) approximations for
+  all edges with only O(log N / eps^2) Laplacian solves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graphs.graph import WeightedGraph
+from repro.linalg.solvers import LaplacianSolver
+
+__all__ = [
+    "laplacian_pseudoinverse",
+    "effective_resistance",
+    "effective_resistance_matrix",
+    "effective_resistances_jl",
+]
+
+
+def laplacian_pseudoinverse(laplacian: sp.spmatrix | np.ndarray) -> np.ndarray:
+    """Dense Moore-Penrose pseudo-inverse ``L^+``.
+
+    Intended for validation on small graphs (the matrix is dense, O(N^2)
+    memory); large-graph workflows should use :class:`LaplacianSolver` or the
+    JL sketch instead.
+    """
+    dense = np.asarray(
+        laplacian.todense() if sp.issparse(laplacian) else laplacian, dtype=np.float64
+    )
+    n = dense.shape[0]
+    # Deflation trick: (L + J/n)^{-1} - J/n equals L^+ for connected graphs,
+    # where J is the all-ones matrix.  It avoids an SVD and is exact.
+    ones = np.full((n, n), 1.0 / n)
+    return np.linalg.inv(dense + ones) - ones
+
+
+def _solver_for(
+    graph_or_laplacian: WeightedGraph | sp.spmatrix | np.ndarray,
+    solver: LaplacianSolver | None,
+) -> LaplacianSolver:
+    if solver is not None:
+        return solver
+    return LaplacianSolver(graph_or_laplacian)
+
+
+def effective_resistance(
+    graph_or_laplacian: WeightedGraph | sp.spmatrix | np.ndarray,
+    pairs: np.ndarray | list[tuple[int, int]],
+    *,
+    solver: LaplacianSolver | None = None,
+) -> np.ndarray:
+    """Exact effective resistances ``R_eff(s, t) = (e_s - e_t)^T L^+ (e_s - e_t)``.
+
+    Parameters
+    ----------
+    graph_or_laplacian:
+        The resistor network (must be connected).
+    pairs:
+        ``(m, 2)`` array of node pairs.
+    solver:
+        Optional pre-built :class:`LaplacianSolver` to reuse its factorisation.
+
+    Returns
+    -------
+    numpy.ndarray
+        Length-``m`` vector of effective resistances.
+    """
+    solver = _solver_for(graph_or_laplacian, solver)
+    pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+    n = solver.n_nodes
+    out = np.empty(pairs.shape[0])
+    for idx, (s, t) in enumerate(pairs):
+        if not (0 <= s < n and 0 <= t < n):
+            raise ValueError(f"pair ({s}, {t}) out of range for {n} nodes")
+        if s == t:
+            out[idx] = 0.0
+            continue
+        rhs = np.zeros(n)
+        rhs[s] = 1.0
+        rhs[t] = -1.0
+        x = solver.solve(rhs)
+        out[idx] = x[s] - x[t]
+    return out
+
+
+def effective_resistance_matrix(
+    graph_or_laplacian: WeightedGraph | sp.spmatrix | np.ndarray,
+) -> np.ndarray:
+    """All-pairs effective-resistance matrix (dense, small graphs only)."""
+    if isinstance(graph_or_laplacian, WeightedGraph):
+        laplacian = graph_or_laplacian.laplacian()
+    else:
+        laplacian = sp.csr_matrix(graph_or_laplacian)
+    pinv = laplacian_pseudoinverse(laplacian)
+    diag = np.diag(pinv)
+    return diag[:, None] + diag[None, :] - 2.0 * pinv
+
+
+def effective_resistances_jl(
+    graph: WeightedGraph,
+    *,
+    pairs: np.ndarray | list[tuple[int, int]] | None = None,
+    epsilon: float = 0.3,
+    n_projections: int | None = None,
+    seed: int | None = 0,
+    solver: LaplacianSolver | None = None,
+) -> np.ndarray:
+    """Johnson-Lindenstrauss approximation of effective resistances (Sec. II-D).
+
+    Builds the sketch ``Z = Q W^{1/2} B L^+`` where ``Q`` is a random
+    ``+/- 1/sqrt(q)`` matrix with ``q = O(log N / eps^2)`` rows, ``B`` the
+    oriented incidence matrix and ``W`` the diagonal weight matrix, so that
+    ``||Z (e_s - e_t)||^2`` is a ``(1 +/- eps)`` approximation of
+    ``R_eff(s, t)`` with high probability (Spielman-Srivastava [10]).
+
+    Parameters
+    ----------
+    pairs:
+        Node pairs to evaluate; defaults to the edges of ``graph``.
+    epsilon:
+        Target relative accuracy (used to size ``q`` when ``n_projections``
+        is not given).
+    n_projections:
+        Explicit number of random projections ``q`` (overrides ``epsilon``).
+    """
+    if pairs is None:
+        pairs = graph.edges
+    pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+    n = graph.n_nodes
+    if n_projections is None:
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        n_projections = max(1, int(np.ceil(24.0 * np.log(max(n, 2)) / epsilon**2)))
+        # Cap the sketch size: beyond ~n rows an exact solve would be cheaper.
+        n_projections = min(n_projections, max(n - 1, 1))
+    rng = np.random.default_rng(seed)
+
+    incidence = graph.incidence_matrix()  # (|E|, N), rows are e_s - e_t
+    sqrt_w = np.sqrt(graph.weights)
+    solver = _solver_for(graph, solver)
+
+    # Each sketch row: solve L z = (Q W^{1/2} B)_i^T.
+    sketch = np.empty((n_projections, n))
+    for i in range(n_projections):
+        signs = rng.choice([-1.0, 1.0], size=graph.n_edges) / np.sqrt(n_projections)
+        rhs = incidence.T @ (signs * sqrt_w)
+        sketch[i] = solver.solve(rhs)
+
+    diffs = sketch[:, pairs[:, 0]] - sketch[:, pairs[:, 1]]
+    return np.einsum("ij,ij->j", diffs, diffs)

@@ -1,0 +1,195 @@
+"""Direct and iterative solvers for graph Laplacian systems.
+
+A connected graph Laplacian ``L`` is singular with null space spanned by the
+all-one vector, so ``L x = b`` only has solutions when ``b`` sums to zero, and
+the solution is unique only up to an additive constant.  The canonical choice
+used throughout the library (and implicitly by the paper via the Moore-Penrose
+pseudo-inverse) is the *mean-free* solution ``x = L^+ b``.
+
+:class:`LaplacianSolver` wraps this convention around two backends:
+
+* ``"direct"`` -- ground one node, factorise the reduced SPD matrix once with
+  SuperLU and reuse the factorisation for many right-hand sides (this is what
+  Step 5 of the SGL algorithm needs: one factorisation, ``M`` solves);
+* ``"cg"``     -- preconditioned conjugate gradients on the full singular
+  system with iterates kept orthogonal to the null space, for very large
+  graphs where a factorisation would be too expensive.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.graphs.graph import WeightedGraph
+from repro.linalg.conjugate_gradient import conjugate_gradient
+from repro.linalg.preconditioners import jacobi_preconditioner
+
+__all__ = ["LaplacianSolver"]
+
+
+def _as_laplacian(graph_or_laplacian: WeightedGraph | sp.spmatrix | np.ndarray) -> sp.csr_matrix:
+    if isinstance(graph_or_laplacian, WeightedGraph):
+        return graph_or_laplacian.laplacian()
+    return sp.csr_matrix(graph_or_laplacian)
+
+
+def _remove_mean(x: np.ndarray) -> np.ndarray:
+    if x.ndim == 1:
+        return x - x.mean()
+    return x - x.mean(axis=0, keepdims=True)
+
+
+class LaplacianSolver:
+    """Reusable solver for ``L x = b`` returning the mean-free solution ``L^+ b``.
+
+    Parameters
+    ----------
+    graph_or_laplacian:
+        A :class:`~repro.graphs.WeightedGraph` or a sparse/dense Laplacian.
+        The graph must be connected; otherwise solutions are not well defined
+        and a :class:`ValueError` is raised.
+    method:
+        ``"direct"`` (default, grounded sparse LU), or ``"cg"`` (Jacobi
+        preconditioned conjugate gradients).
+    ground_node:
+        Node eliminated by the direct method.  Any node works; exposed mainly
+        for tests.
+    cg_tol, cg_max_iter:
+        Convergence controls for the ``"cg"`` backend.
+    """
+
+    def __init__(
+        self,
+        graph_or_laplacian: WeightedGraph | sp.spmatrix | np.ndarray,
+        *,
+        method: Literal["direct", "cg"] = "direct",
+        ground_node: int = 0,
+        cg_tol: float = 1e-10,
+        cg_max_iter: int | None = None,
+    ) -> None:
+        laplacian = _as_laplacian(graph_or_laplacian).tocsr()
+        n = laplacian.shape[0]
+        if laplacian.shape[0] != laplacian.shape[1]:
+            raise ValueError("Laplacian must be square")
+        if n == 0:
+            raise ValueError("empty Laplacian")
+        n_components, _ = sp.csgraph.connected_components(
+            sp.csr_matrix((np.abs(laplacian.data), laplacian.indices, laplacian.indptr), shape=laplacian.shape),
+            directed=False,
+        )
+        if n_components != 1 and n > 1:
+            raise ValueError(
+                "LaplacianSolver requires a connected graph "
+                f"(found {n_components} connected components)"
+            )
+        if not 0 <= ground_node < n:
+            raise ValueError("ground_node out of range")
+        if method not in {"direct", "cg"}:
+            raise ValueError("method must be 'direct' or 'cg'")
+
+        self._laplacian = laplacian
+        self._n = n
+        self._method = method
+        self._ground = int(ground_node)
+        self._cg_tol = float(cg_tol)
+        self._cg_max_iter = cg_max_iter
+        self._lu: spla.SuperLU | None = None
+        self._keep: np.ndarray | None = None
+        self._preconditioner = None
+        if method == "direct":
+            self._factorize()
+        else:
+            self._preconditioner = jacobi_preconditioner(laplacian)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        """Dimension of the Laplacian."""
+        return self._n
+
+    @property
+    def laplacian(self) -> sp.csr_matrix:
+        """The Laplacian being solved (read-only reference)."""
+        return self._laplacian
+
+    @property
+    def method(self) -> str:
+        """Backend in use (``"direct"`` or ``"cg"``)."""
+        return self._method
+
+    # ------------------------------------------------------------------
+    def _factorize(self) -> None:
+        keep = np.ones(self._n, dtype=bool)
+        keep[self._ground] = False
+        self._keep = keep
+        if self._n == 1:
+            self._lu = None
+            return
+        reduced = self._laplacian[keep][:, keep].tocsc()
+        self._lu = spla.splu(reduced)
+
+    def _solve_vector(self, b: np.ndarray) -> np.ndarray:
+        b = np.asarray(b, dtype=np.float64).ravel()
+        if b.size != self._n:
+            raise ValueError(f"right-hand side has length {b.size}, expected {self._n}")
+        # Project the right-hand side onto the range of L (zero-sum vectors).
+        b = b - b.mean()
+        if self._n == 1:
+            return np.zeros(1)
+        if self._method == "direct":
+            x = np.zeros(self._n)
+            x[self._keep] = self._lu.solve(b[self._keep])
+            return _remove_mean(x)
+        x, info = conjugate_gradient(
+            self._laplacian,
+            b,
+            tol=self._cg_tol,
+            max_iter=self._cg_max_iter,
+            preconditioner=self._preconditioner,
+            project_nullspace=True,
+        )
+        if not info.converged:
+            raise RuntimeError(
+                f"CG failed to converge within {info.iterations} iterations "
+                f"(residual {info.residual_norm:.3e})"
+            )
+        return _remove_mean(x)
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``L x = rhs`` returning the mean-free solution.
+
+        ``rhs`` may be a vector of length ``N`` or a matrix ``(N, M)`` of
+        right-hand-side columns (each column is solved independently, reusing
+        the factorisation).  Right-hand sides are projected onto the zero-sum
+        subspace first, matching the pseudo-inverse solution ``L^+ rhs``.
+        """
+        rhs = np.asarray(rhs, dtype=np.float64)
+        if rhs.ndim == 1:
+            return self._solve_vector(rhs)
+        if rhs.ndim != 2 or rhs.shape[0] != self._n:
+            raise ValueError(f"rhs must have shape ({self._n},) or ({self._n}, M)")
+        out = np.empty_like(rhs)
+        for j in range(rhs.shape[1]):
+            out[:, j] = self._solve_vector(rhs[:, j])
+        return out
+
+    def solve_grounded(self, rhs: np.ndarray, ground_value: float = 0.0) -> np.ndarray:
+        """Solve with the ground node pinned to ``ground_value`` instead of mean-free.
+
+        This mirrors how circuit simulators report node voltages relative to a
+        ground reference.  Only available with the direct backend.
+        """
+        if self._method != "direct":
+            raise RuntimeError("solve_grounded requires the 'direct' backend")
+        x = self._solve_vector(rhs)
+        return x - x[self._ground] + ground_value
+
+    def quadratic_form_inverse(self, vector: np.ndarray) -> float:
+        """Compute ``v^T L^+ v`` (e.g. an effective resistance when ``v = e_s - e_t``)."""
+        x = self.solve(vector)
+        v = np.asarray(vector, dtype=np.float64).ravel()
+        return float((v - v.mean()) @ x)

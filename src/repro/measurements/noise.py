@@ -1,0 +1,69 @@
+"""Measurement noise model (paper Fig. 9).
+
+Each voltage measurement vector ``x`` is perturbed multiplicatively:
+
+    x_noisy = x + zeta * ||x||_2 * eps,
+
+where ``eps`` is a unit-norm Gaussian direction and ``zeta`` the noise level
+(the paper sweeps zeta in {0, 0.1, 0.25, 0.5}).  The noise energy is therefore
+a fixed fraction ``zeta`` of the signal energy per measurement vector,
+independent of the network size or excitation strength.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.measurements.generator import MeasurementSet
+
+__all__ = ["add_measurement_noise"]
+
+
+def add_measurement_noise(
+    measurements: MeasurementSet | np.ndarray,
+    noise_level: float,
+    *,
+    seed: int | None = 0,
+) -> MeasurementSet | np.ndarray:
+    """Apply the paper's multiplicative Gaussian noise to voltage measurements.
+
+    Parameters
+    ----------
+    measurements:
+        A :class:`MeasurementSet` (returned with noisy voltages, currents kept
+        as-is) or a bare ``(N, M)`` voltage matrix (returned as a matrix).
+    noise_level:
+        The ``zeta`` parameter; 0 returns the input unchanged.
+    seed:
+        Seed for the Gaussian noise directions.
+    """
+    if noise_level < 0:
+        raise ValueError("noise_level must be non-negative")
+    if noise_level == 0:
+        return measurements
+
+    rng = np.random.default_rng(seed)
+
+    def perturb(voltages: np.ndarray) -> np.ndarray:
+        voltages = np.asarray(voltages, dtype=np.float64)
+        noisy = voltages.copy()
+        for j in range(voltages.shape[1]):
+            direction = rng.standard_normal(voltages.shape[0])
+            norm = np.linalg.norm(direction)
+            if norm == 0:
+                continue
+            direction /= norm
+            noisy[:, j] = voltages[:, j] + noise_level * np.linalg.norm(voltages[:, j]) * direction
+        return noisy
+
+    if isinstance(measurements, MeasurementSet):
+        return MeasurementSet(
+            voltages=perturb(measurements.voltages),
+            currents=measurements.currents,
+            noise_level=float(noise_level),
+        )
+    matrix = np.asarray(measurements, dtype=np.float64)
+    if matrix.ndim == 1:
+        matrix = matrix[:, None]
+        return perturb(matrix)[:, 0]
+    return perturb(matrix)

@@ -1,0 +1,38 @@
+"""Evaluation metrics used by the paper's figures.
+
+* :mod:`spectral`   -- eigenvalue comparison/correlation between the original
+  and learned graphs (Figs. 3-6, 8-10);
+* :mod:`resistance` -- effective-resistance correlation on sampled node pairs
+  (Fig. 7);
+* :mod:`density`    -- graph density and sparsification statistics;
+* :mod:`smoothness` -- Laplacian quadratic-form smoothness of graph signals.
+"""
+
+from repro.metrics.spectral import (
+    EigenvalueComparison,
+    compare_eigenvalues,
+    eigenvalue_correlation,
+    relative_eigenvalue_error,
+)
+from repro.metrics.resistance import (
+    ResistanceComparison,
+    compare_effective_resistances,
+    resistance_correlation,
+)
+from repro.metrics.density import density_ratio, graph_density, sparsification_summary
+from repro.metrics.smoothness import signal_smoothness, total_smoothness
+
+__all__ = [
+    "EigenvalueComparison",
+    "compare_eigenvalues",
+    "eigenvalue_correlation",
+    "relative_eigenvalue_error",
+    "ResistanceComparison",
+    "compare_effective_resistances",
+    "resistance_correlation",
+    "graph_density",
+    "density_ratio",
+    "sparsification_summary",
+    "signal_smoothness",
+    "total_smoothness",
+]

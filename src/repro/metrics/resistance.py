@@ -1,0 +1,106 @@
+"""Effective-resistance comparison metrics (paper Fig. 7).
+
+Fig. 7 evaluates learned graphs by scatter-plotting the effective resistances
+of sampled node pairs computed on the learned graph against those computed on
+the original graph; high correlation (points hugging the diagonal) means the
+learned ultra-sparse network is electrically equivalent to the original.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.graph import WeightedGraph
+from repro.linalg.pseudoinverse import effective_resistance
+from repro.linalg.solvers import LaplacianSolver
+
+__all__ = [
+    "ResistanceComparison",
+    "compare_effective_resistances",
+    "resistance_correlation",
+    "sample_node_pairs",
+]
+
+
+@dataclass(frozen=True)
+class ResistanceComparison:
+    """Paired effective resistances of an original and a learned graph."""
+
+    pairs: np.ndarray
+    original: np.ndarray
+    learned: np.ndarray
+
+    @property
+    def correlation(self) -> float:
+        """Pearson correlation between the two resistance series."""
+        if self.original.size < 2:
+            return 1.0
+        if np.std(self.original) == 0 or np.std(self.learned) == 0:
+            return 1.0 if np.allclose(self.original, self.learned) else 0.0
+        return float(np.corrcoef(self.original, self.learned)[0, 1])
+
+    @property
+    def mean_relative_error(self) -> float:
+        """Mean relative deviation of the learned resistances."""
+        mask = self.original > 0
+        if not np.any(mask):
+            return 0.0
+        return float(
+            np.mean(np.abs(self.learned[mask] - self.original[mask]) / self.original[mask])
+        )
+
+
+def sample_node_pairs(
+    n_nodes: int,
+    n_pairs: int,
+    *,
+    seed: int | None = 0,
+) -> np.ndarray:
+    """Uniformly random distinct node pairs (with replacement across pairs)."""
+    if n_nodes < 2:
+        raise ValueError("need at least two nodes")
+    rng = np.random.default_rng(seed)
+    first = rng.integers(0, n_nodes, size=n_pairs)
+    second = rng.integers(0, n_nodes - 1, size=n_pairs)
+    second = np.where(second >= first, second + 1, second)
+    return np.column_stack([first, second])
+
+
+def compare_effective_resistances(
+    original: WeightedGraph,
+    learned: WeightedGraph,
+    *,
+    n_pairs: int = 200,
+    pairs: np.ndarray | None = None,
+    seed: int | None = 0,
+) -> ResistanceComparison:
+    """Effective resistances of the same node pairs on both graphs.
+
+    Both graphs must share the node numbering (which SGL guarantees, since it
+    learns a graph over the measured nodes).
+    """
+    if original.n_nodes != learned.n_nodes:
+        raise ValueError("graphs must share the same node set")
+    if pairs is None:
+        pairs = sample_node_pairs(original.n_nodes, n_pairs, seed=seed)
+    pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+    original_solver = LaplacianSolver(original)
+    learned_solver = LaplacianSolver(learned)
+    original_r = effective_resistance(original, pairs, solver=original_solver)
+    learned_r = effective_resistance(learned, pairs, solver=learned_solver)
+    return ResistanceComparison(pairs=pairs, original=original_r, learned=learned_r)
+
+
+def resistance_correlation(
+    original: WeightedGraph,
+    learned: WeightedGraph,
+    *,
+    n_pairs: int = 200,
+    seed: int | None = 0,
+) -> float:
+    """Shortcut for ``compare_effective_resistances(...).correlation``."""
+    return compare_effective_resistances(
+        original, learned, n_pairs=n_pairs, seed=seed
+    ).correlation
