@@ -1,0 +1,139 @@
+"""Baseline adapters: run the repo's reference methods on bench scenarios.
+
+Each adapter takes the same inputs as the SGL run (the ground-truth graph and
+the simulated measurement set) and returns a learned/derived graph plus its
+wall-clock cost, so the benchmark artifacts contain a quality-vs-time frontier
+across methods:
+
+``knn_baseline``
+    The paper's experimental comparator — a spectrally scaled kNN graph
+    built from the voltage measurements.
+``glasso``
+    The dense projected-gradient graphical-Lasso reference.  O(N^3) per
+    iteration, so it is *skipped* (with a recorded reason) above a node cap.
+``spectral_sparsify``
+    Spielman-Srivastava sparsification of the ground-truth graph — the
+    "dual" of SGL's densification; measures what a spectral sparsifier
+    achieves when it is allowed to see the true graph.
+``kron``
+    Kron reduction onto a random half of the nodes.  The reduced graph lives
+    on a node subset, so the adapter also returns the ``node_map`` from
+    reduced to original ids; quality metrics compare effective resistances
+    of kept-node pairs against the full ground truth.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.glasso import gsp_graphical_lasso
+from repro.baselines.knn_baseline import scaled_knn_baseline
+from repro.baselines.kron import kron_reduction
+from repro.baselines.spectral_sparsify import spectral_sparsify
+from repro.graphs.graph import WeightedGraph
+from repro.measurements.generator import MeasurementSet
+from repro.measurements.reduction import sample_node_subset
+
+__all__ = ["BaselineOutcome", "available_baselines", "run_baseline", "GLASSO_NODE_CAP"]
+
+#: gsp_graphical_lasso is a dense O(N^3)-per-iteration reference; above this
+#: node count the adapter records a skip instead of stalling the suite.
+GLASSO_NODE_CAP = 400
+
+
+@dataclass
+class BaselineOutcome:
+    """Result of one baseline adapter on one scenario."""
+
+    method: str
+    graph: WeightedGraph | None = None
+    node_map: np.ndarray | None = None
+    seconds: float = 0.0
+    info: dict = field(default_factory=dict)
+    skipped: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the baseline actually produced a graph."""
+        return self.graph is not None
+
+
+def available_baselines() -> list[str]:
+    """Names accepted by :func:`run_baseline`."""
+    return ["knn_baseline", "glasso", "spectral_sparsify", "kron"]
+
+
+def run_baseline(
+    name: str,
+    truth: WeightedGraph,
+    measurements: MeasurementSet,
+    *,
+    seed: int = 0,
+) -> BaselineOutcome:
+    """Run one baseline method on a scenario's inputs, timing it.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_baselines`.
+    truth:
+        The scenario's ground-truth graph (used directly by the
+        sparsification/reduction baselines, and for context only by the
+        measurement-driven ones).
+    measurements:
+        The simulated measurement set fed to SGL.
+    seed:
+        Seed for the stochastic baselines (sparsifier sampling, Kron node
+        subset).
+    """
+    if name == "knn_baseline":
+        start = time.perf_counter()
+        graph = scaled_knn_baseline(measurements)
+        elapsed = time.perf_counter() - start
+        return BaselineOutcome(method=name, graph=graph, seconds=elapsed)
+
+    if name == "glasso":
+        n = measurements.n_nodes
+        if n > GLASSO_NODE_CAP:
+            return BaselineOutcome(
+                method=name,
+                skipped=f"n_nodes={n} exceeds glasso cap of {GLASSO_NODE_CAP}",
+            )
+        start = time.perf_counter()
+        result = gsp_graphical_lasso(
+            measurements.voltages, max_iterations=60, seed=seed
+        )
+        elapsed = time.perf_counter() - start
+        return BaselineOutcome(
+            method=name,
+            graph=result.graph,
+            seconds=elapsed,
+            info={
+                "converged": result.converged,
+                "n_iterations": result.n_iterations,
+            },
+        )
+
+    if name == "spectral_sparsify":
+        start = time.perf_counter()
+        graph = spectral_sparsify(truth, epsilon=0.5, seed=seed)
+        elapsed = time.perf_counter() - start
+        return BaselineOutcome(method=name, graph=graph, seconds=elapsed)
+
+    if name == "kron":
+        keep = sample_node_subset(truth.n_nodes, 0.5, seed=seed)
+        start = time.perf_counter()
+        graph = kron_reduction(truth, keep)
+        elapsed = time.perf_counter() - start
+        return BaselineOutcome(
+            method=name,
+            graph=graph,
+            node_map=keep,
+            seconds=elapsed,
+            info={"n_kept_nodes": int(keep.size)},
+        )
+
+    raise KeyError(f"unknown baseline {name!r}; available: {available_baselines()}")

@@ -1,0 +1,336 @@
+"""Timed benchmark runner: scenarios in, structured records out.
+
+For each :class:`~repro.bench.registry.ScenarioSpec` the runner
+
+1. builds the ground-truth graph and simulates the measurement set (timed,
+   but reported separately — setup cost is not part of the learner's time);
+2. runs the SGL learner ``warmup + repeats`` times, recording wall-clock
+   seconds per repeat and the per-stage counters the learner threads through
+   its hot path (kNN, MST, embedding, sensitivity, selection, scaling);
+3. optionally re-runs once under :mod:`tracemalloc` to record the peak
+   traced allocation (kept out of the timed repeats — tracing skews time);
+4. scores the learned graph against the ground truth (density, effective-
+   resistance correlation, measured-signal smoothness);
+5. repeats steps 2-4 for any requested baseline adapters.
+
+Every record is JSON-ready (see :mod:`repro.bench.results` for the artifact
+schema and the regression gate built on top of it).
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bench.baselines import run_baseline
+from repro.bench.registry import ScenarioSpec
+from repro.core.instrumentation import StageTimings
+from repro.core.sgl import SGLearner, SGLResult
+from repro.graphs.graph import WeightedGraph
+from repro.linalg.pseudoinverse import effective_resistance
+from repro.linalg.solvers import LaplacianSolver
+from repro.measurements.generator import MeasurementSet
+from repro.metrics.resistance import sample_node_pairs
+from repro.metrics.smoothness import signal_smoothness
+
+__all__ = ["BenchRecord", "quality_metrics", "run_scenario", "run_suite"]
+
+
+@dataclass
+class BenchRecord:
+    """One (scenario, method) benchmark measurement, JSON-ready."""
+
+    scenario: str
+    method: str
+    n_nodes: int
+    n_edges_true: int
+    n_measurements: int
+    noise_level: float
+    wall_seconds: list[float]
+    stage_seconds: dict = field(default_factory=dict)
+    quality: dict = field(default_factory=dict)
+    peak_memory_bytes: int | None = None
+    info: dict = field(default_factory=dict)
+
+    @property
+    def mean_seconds(self) -> float:
+        """Mean wall-clock seconds across repeats."""
+        return float(np.mean(self.wall_seconds)) if self.wall_seconds else 0.0
+
+    @property
+    def min_seconds(self) -> float:
+        """Fastest repeat (the usual benchmarking statistic)."""
+        return float(np.min(self.wall_seconds)) if self.wall_seconds else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-ready mapping (inverse of :meth:`from_dict`)."""
+        return {
+            "scenario": self.scenario,
+            "method": self.method,
+            "n_nodes": self.n_nodes,
+            "n_edges_true": self.n_edges_true,
+            "n_measurements": self.n_measurements,
+            "noise_level": self.noise_level,
+            "wall_seconds": list(self.wall_seconds),
+            "stage_seconds": dict(self.stage_seconds),
+            "quality": dict(self.quality),
+            "peak_memory_bytes": self.peak_memory_bytes,
+            "info": dict(self.info),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BenchRecord":
+        """Rebuild a record from its :meth:`as_dict` form."""
+        return cls(
+            scenario=data["scenario"],
+            method=data["method"],
+            n_nodes=int(data["n_nodes"]),
+            n_edges_true=int(data["n_edges_true"]),
+            n_measurements=int(data["n_measurements"]),
+            noise_level=float(data.get("noise_level", 0.0)),
+            wall_seconds=[float(v) for v in data["wall_seconds"]],
+            stage_seconds=dict(data.get("stage_seconds", {})),
+            quality=dict(data.get("quality", {})),
+            peak_memory_bytes=data.get("peak_memory_bytes"),
+            info=dict(data.get("info", {})),
+        )
+
+
+# ----------------------------------------------------------------------
+def quality_metrics(
+    truth: WeightedGraph,
+    learned: WeightedGraph,
+    voltages: np.ndarray,
+    *,
+    node_map: np.ndarray | None = None,
+    n_pairs: int = 120,
+    seed: int = 0,
+) -> dict:
+    """Score a learned graph against the ground truth.
+
+    Parameters
+    ----------
+    truth, learned:
+        The ground-truth network and the method's output.  When ``node_map``
+        is given, ``learned`` lives on a node subset and ``node_map[i]`` is
+        the original id of reduced node ``i``.
+    voltages:
+        The measured voltage matrix (rows are original node ids).
+    n_pairs, seed:
+        Sampling controls for the effective-resistance comparison.
+
+    Returns
+    -------
+    dict with keys ``density``, ``n_edges``, ``resistance_correlation`` and
+    ``smoothness`` (mean normalised Rayleigh quotient of the measured
+    voltages on the learned graph; lower = smoother).
+    """
+    if node_map is None:
+        if learned.n_nodes != truth.n_nodes:
+            raise ValueError("learned graph must share the truth's node set")
+        pairs = sample_node_pairs(truth.n_nodes, n_pairs, seed=seed)
+        truth_pairs = pairs
+        learned_pairs = pairs
+        learned_voltages = voltages
+    else:
+        node_map = np.asarray(node_map, dtype=np.int64)
+        if learned.n_nodes != node_map.size:
+            raise ValueError("node_map must have one entry per learned node")
+        pairs = sample_node_pairs(learned.n_nodes, n_pairs, seed=seed)
+        truth_pairs = node_map[pairs]
+        learned_pairs = pairs
+        learned_voltages = voltages[node_map]
+
+    truth_r = effective_resistance(truth, truth_pairs, solver=LaplacianSolver(truth))
+    learned_r = effective_resistance(
+        learned, learned_pairs, solver=LaplacianSolver(learned)
+    )
+    if truth_r.size < 2 or np.std(truth_r) == 0 or np.std(learned_r) == 0:
+        correlation = 1.0 if np.allclose(truth_r, learned_r) else 0.0
+    else:
+        correlation = float(np.corrcoef(truth_r, learned_r)[0, 1])
+
+    smooth = float(np.mean(signal_smoothness(learned, learned_voltages)))
+    return {
+        "density": float(learned.density),
+        "n_edges": int(learned.n_edges),
+        "resistance_correlation": correlation,
+        "smoothness": smooth,
+    }
+
+
+def _timed_sgl_runs(
+    spec: ScenarioSpec,
+    measurements: MeasurementSet,
+    *,
+    warmup: int,
+    repeats: int,
+) -> tuple[list[float], StageTimings, SGLResult]:
+    """Run the learner ``warmup + repeats`` times; time the last ``repeats``."""
+    config = spec.make_config(measurements.n_nodes)
+    learner = SGLearner(config)
+    for _ in range(warmup):
+        learner.fit(measurements)
+    wall: list[float] = []
+    stage_totals = StageTimings()
+    result: SGLResult | None = None
+    for _ in range(max(repeats, 1)):
+        start = time.perf_counter()
+        result = learner.fit(measurements)
+        wall.append(time.perf_counter() - start)
+        stage_totals.merge(result.timings)
+    assert result is not None
+    # Average the accumulated stage counters over the repeats so stage times
+    # stay comparable to a single repeat's wall time.
+    averaged = StageTimings.from_dict(
+        {
+            name: {
+                "seconds": stat.seconds / max(repeats, 1),
+                "calls": max(1, round(stat.calls / max(repeats, 1))),
+            }
+            for name, stat in stage_totals.stages.items()
+        }
+    )
+    return wall, averaged, result
+
+
+def _peak_memory_of(fn) -> int:
+    """Peak traced allocation (bytes) while running ``fn()``."""
+    tracemalloc.start()
+    try:
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return int(peak)
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    *,
+    warmup: int = 0,
+    repeats: int = 1,
+    baselines: tuple[str, ...] | list[str] = (),
+    track_memory: bool = False,
+    n_quality_pairs: int = 120,
+) -> list[BenchRecord]:
+    """Benchmark one scenario: the SGL learner plus any requested baselines.
+
+    Returns one :class:`BenchRecord` per method (skipped baselines produce a
+    record with empty ``wall_seconds`` and the skip reason under
+    ``info["skipped"]``).
+    """
+    setup_start = time.perf_counter()
+    truth = spec.build_graph()
+    graph_seconds = time.perf_counter() - setup_start
+    measurements = spec.build_measurements(truth)
+    setup_seconds = time.perf_counter() - setup_start
+
+    wall, stage_totals, result = _timed_sgl_runs(
+        spec, measurements, warmup=warmup, repeats=repeats
+    )
+    quality = quality_metrics(
+        truth,
+        result.graph,
+        measurements.voltages,
+        n_pairs=n_quality_pairs,
+        seed=spec.seed,
+    )
+    peak_memory = None
+    if track_memory:
+        learner = SGLearner(spec.make_config(measurements.n_nodes))
+        peak_memory = _peak_memory_of(lambda: learner.fit(measurements))
+
+    records = [
+        BenchRecord(
+            scenario=spec.name,
+            method="sgl",
+            n_nodes=truth.n_nodes,
+            n_edges_true=truth.n_edges,
+            n_measurements=spec.n_measurements,
+            noise_level=spec.noise_level,
+            wall_seconds=wall,
+            stage_seconds=stage_totals.as_dict(),
+            quality=quality,
+            peak_memory_bytes=peak_memory,
+            info={
+                "converged": result.converged,
+                "n_iterations": result.n_iterations,
+                "scaling_factor": result.scaling_factor,
+                "graph_build_seconds": graph_seconds,
+                "setup_seconds": setup_seconds,
+                "warmup": warmup,
+                "repeats": repeats,
+            },
+        )
+    ]
+
+    for name in baselines:
+        outcome = run_baseline(name, truth, measurements, seed=spec.seed)
+        if not outcome.ok:
+            records.append(
+                BenchRecord(
+                    scenario=spec.name,
+                    method=name,
+                    n_nodes=truth.n_nodes,
+                    n_edges_true=truth.n_edges,
+                    n_measurements=spec.n_measurements,
+                    noise_level=spec.noise_level,
+                    wall_seconds=[],
+                    info={"skipped": outcome.skipped},
+                )
+            )
+            continue
+        baseline_quality = quality_metrics(
+            truth,
+            outcome.graph,
+            measurements.voltages,
+            node_map=outcome.node_map,
+            n_pairs=n_quality_pairs,
+            seed=spec.seed,
+        )
+        records.append(
+            BenchRecord(
+                scenario=spec.name,
+                method=name,
+                n_nodes=truth.n_nodes,
+                n_edges_true=truth.n_edges,
+                n_measurements=spec.n_measurements,
+                noise_level=spec.noise_level,
+                wall_seconds=[outcome.seconds],
+                quality=baseline_quality,
+                info=dict(outcome.info),
+            )
+        )
+    return records
+
+
+def run_suite(
+    specs,
+    *,
+    warmup: int = 0,
+    repeats: int = 1,
+    baselines: tuple[str, ...] | list[str] = (),
+    track_memory: bool = False,
+    n_quality_pairs: int = 120,
+    progress=None,
+) -> list[BenchRecord]:
+    """Run a sequence of scenarios; ``progress`` is an optional callable
+    invoked as ``progress(spec, records)`` after each scenario finishes."""
+    all_records: list[BenchRecord] = []
+    for spec in specs:
+        records = run_scenario(
+            spec,
+            warmup=warmup,
+            repeats=repeats,
+            baselines=baselines,
+            track_memory=track_memory,
+            n_quality_pairs=n_quality_pairs,
+        )
+        all_records.extend(records)
+        if progress is not None:
+            progress(spec, records)
+    return all_records

@@ -17,6 +17,7 @@ This package implements the paper's primary contribution (Sec. II):
 
 from repro.core.config import SGLConfig
 from repro.core.history import IterationRecord, SGLHistory
+from repro.core.instrumentation import StageStat, StageTimings
 from repro.core.objective import graphical_lasso_objective, objective_terms
 from repro.core.scaling import edge_scaling_factor, spectral_edge_scaling
 from repro.core.sensitivity import (
@@ -31,6 +32,8 @@ __all__ = [
     "SGLConfig",
     "IterationRecord",
     "SGLHistory",
+    "StageStat",
+    "StageTimings",
     "graphical_lasso_objective",
     "objective_terms",
     "edge_scaling_factor",

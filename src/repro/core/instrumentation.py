@@ -1,0 +1,100 @@
+"""Lightweight per-stage performance counters for the SGL hot path.
+
+The paper's runtime study (Fig. 11) breaks SGL's near-linear runtime into its
+pipeline stages: kNN construction, spanning-tree extraction, spectral
+embedding, edge sensitivity ranking and edge scaling.  :class:`StageTimings`
+is the instrument the learner (and the benchmark harness in
+:mod:`repro.bench`) threads through that pipeline: a tiny accumulator of
+wall-clock seconds and call counts per named stage.
+
+The overhead is two :func:`time.perf_counter` calls per stage entry, so the
+learner records timings unconditionally; a fresh ``StageTimings`` is attached
+to every :class:`~repro.core.sgl.SGLResult`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["StageStat", "StageTimings"]
+
+
+@dataclass
+class StageStat:
+    """Accumulated wall-clock time of one named pipeline stage."""
+
+    seconds: float = 0.0
+    calls: int = 0
+
+    def add(self, seconds: float) -> None:
+        """Accumulate one timed interval."""
+        self.seconds += seconds
+        self.calls += 1
+
+
+@dataclass
+class StageTimings:
+    """Per-stage wall-clock accumulator threaded through the SGL pipeline.
+
+    Examples
+    --------
+    >>> timings = StageTimings()
+    >>> with timings.stage("embedding"):
+    ...     _ = sum(range(1000))
+    >>> timings.stages["embedding"].calls
+    1
+    """
+
+    stages: dict[str, StageStat] = field(default_factory=dict)
+
+    @contextmanager
+    def stage(self, name: str):
+        """Context manager timing one entry into stage ``name``."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.add(name, time.perf_counter() - start)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record ``seconds`` spent in stage ``name``."""
+        self.stages.setdefault(name, StageStat()).add(seconds)
+
+    @property
+    def total_seconds(self) -> float:
+        """Sum of all recorded stage times."""
+        return sum(stat.seconds for stat in self.stages.values())
+
+    def seconds(self, name: str) -> float:
+        """Seconds recorded for stage ``name`` (0 when never entered)."""
+        stat = self.stages.get(name)
+        return stat.seconds if stat is not None else 0.0
+
+    def merge(self, other: "StageTimings") -> None:
+        """Fold another accumulator's stages into this one."""
+        for name, stat in other.stages.items():
+            mine = self.stages.setdefault(name, StageStat())
+            mine.seconds += stat.seconds
+            mine.calls += stat.calls
+
+    def as_dict(self) -> dict[str, dict[str, float | int]]:
+        """JSON-ready ``{stage: {"seconds": ..., "calls": ...}}`` mapping."""
+        return {
+            name: {"seconds": stat.seconds, "calls": stat.calls}
+            for name, stat in self.stages.items()
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, dict[str, float | int]]) -> "StageTimings":
+        """Inverse of :meth:`as_dict`."""
+        timings = cls()
+        for name, stat in data.items():
+            timings.stages[name] = StageStat(
+                seconds=float(stat["seconds"]), calls=int(stat["calls"])
+            )
+        return timings
+
+    def __len__(self) -> int:
+        return len(self.stages)

@@ -18,18 +18,16 @@ voltage distances.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.config import SGLConfig
 from repro.core.history import IterationRecord, SGLHistory
+from repro.core.instrumentation import StageTimings
 from repro.core.objective import graphical_lasso_objective
 from repro.core.scaling import spectral_edge_scaling
-from repro.core.sensitivity import (
-    data_distances_squared,
-    edge_sensitivities,
-)
+from repro.core.sensitivity import edge_sensitivities
 from repro.embedding.spectral import spectral_embedding_matrix
 from repro.graphs.graph import WeightedGraph
 from repro.knn.knn_graph import knn_graph
@@ -66,6 +64,10 @@ class SGLResult:
         were not available or scaling was disabled).
     config:
         The configuration used.
+    timings:
+        Per-stage wall-clock counters recorded during :meth:`SGLearner.fit`
+        (stages ``knn``, ``initial_tree``, ``candidate_pool``, ``embedding``,
+        ``sensitivity``, ``objective``, ``edge_selection``, ``edge_scaling``).
     """
 
     graph: WeightedGraph
@@ -76,6 +78,7 @@ class SGLResult:
     converged: bool
     scaling_factor: float
     config: SGLConfig
+    timings: StageTimings = field(default_factory=StageTimings)
 
     @property
     def n_iterations(self) -> int:
@@ -117,17 +120,19 @@ class SGLearner:
 
     # ------------------------------------------------------------------
     def _initial_graphs(
-        self, voltages: np.ndarray
+        self, voltages: np.ndarray, timings: StageTimings
     ) -> tuple[WeightedGraph, WeightedGraph]:
         """Build the candidate kNN graph and the initial graph (Step 1)."""
         config = self.config
         n_nodes = voltages.shape[0]
         k = min(config.k, n_nodes - 1)
-        candidates = knn_graph(voltages, k, weight_scheme="sgl", ensure_connected=True)
+        with timings.stage("knn"):
+            candidates = knn_graph(voltages, k, weight_scheme="sgl", ensure_connected=True)
         if config.initial_graph == "knn":
             return candidates, candidates.copy()
         if config.initial_graph == "mst":
-            return candidates, maximum_spanning_tree(candidates)
+            with timings.stage("initial_tree"):
+                return candidates, maximum_spanning_tree(candidates)
         # "random-tree": a spanning tree chosen with random edge priorities.
         rng = np.random.default_rng(config.seed)
         random_priorities = candidates.with_weights(rng.random(candidates.n_edges) + 0.5)
@@ -149,6 +154,8 @@ class SGLearner:
         self,
         measurements: MeasurementSet | np.ndarray,
         currents: np.ndarray | None = None,
+        *,
+        timings: StageTimings | None = None,
     ) -> SGLResult:
         """Learn a resistor network from measurements.
 
@@ -160,6 +167,11 @@ class SGLearner:
         currents:
             Optional current matrix ``Y`` when ``measurements`` is a bare
             array; ignored otherwise.
+        timings:
+            Optional :class:`~repro.core.instrumentation.StageTimings` to
+            accumulate stage timings into (e.g. across benchmark repeats); a
+            fresh one is created otherwise.  Either way it is attached to the
+            result as ``result.timings``.
 
         Returns
         -------
@@ -176,23 +188,25 @@ class SGLearner:
         if n_nodes < 3:
             raise ValueError("need at least three nodes to learn a graph")
         config = self.config
+        if timings is None:
+            timings = StageTimings()
 
-        candidates, graph = self._initial_graphs(voltages)
+        candidates, graph = self._initial_graphs(voltages, timings)
         initial_graph = graph.copy()
 
         # Candidate pool: off-tree edges of the kNN graph, with the paper's
         # M / ||x_s - x_t||^2 weights precomputed once.
-        in_graph = graph.edge_set()
-        pool_mask = np.array(
-            [
-                (int(s), int(t)) not in in_graph
-                for s, t in zip(candidates.rows, candidates.cols)
-            ],
-            dtype=bool,
-        )
-        pool_edges = candidates.edges[pool_mask]
-        pool_weights = candidates.weights[pool_mask].copy()
-        pool_zdata = data_distances_squared(voltages, pool_edges) if pool_edges.size else np.zeros(0)
+        with timings.stage("candidate_pool"):
+            in_graph = graph.edge_set()
+            pool_mask = np.array(
+                [
+                    (int(s), int(t)) not in in_graph
+                    for s, t in zip(candidates.rows, candidates.cols)
+                ],
+                dtype=bool,
+            )
+            pool_edges = candidates.edges[pool_mask]
+            pool_weights = candidates.weights[pool_mask].copy()
 
         history = SGLHistory()
         converged = False
@@ -202,26 +216,29 @@ class SGLearner:
             if pool_edges.shape[0] == 0:
                 converged = True
                 break
-            embedding = spectral_embedding_matrix(
-                graph,
-                config.r,
-                sigma_sq=config.sigma_sq,
-                method=config.eigensolver,
-                seed=config.seed,
-                multilevel_coarse_size=config.multilevel_coarse_size,
-            )
-            sensitivities = edge_sensitivities(embedding, voltages, pool_edges)
+            with timings.stage("embedding"):
+                embedding = spectral_embedding_matrix(
+                    graph,
+                    config.r,
+                    sigma_sq=config.sigma_sq,
+                    method=config.eigensolver,
+                    seed=config.seed,
+                    multilevel_coarse_size=config.multilevel_coarse_size,
+                )
+            with timings.stage("sensitivity"):
+                sensitivities = edge_sensitivities(embedding, voltages, pool_edges)
             max_sensitivity = float(sensitivities.max())
 
             objective = None
             if config.track_objective:
-                objective = graphical_lasso_objective(
-                    graph,
-                    voltages,
-                    sigma_sq=config.sigma_sq,
-                    n_eigenvalues=config.objective_eigenvalues,
-                    seed=config.seed,
-                )
+                with timings.stage("objective"):
+                    objective = graphical_lasso_objective(
+                        graph,
+                        voltages,
+                        sigma_sq=config.sigma_sq,
+                        n_eigenvalues=config.objective_eigenvalues,
+                        seed=config.seed,
+                    )
 
             if max_sensitivity < config.tol:
                 history.append(
@@ -237,17 +254,17 @@ class SGLearner:
                 break
 
             # Step 3: add the top-ranked influential edges.
-            order = np.argsort(sensitivities)[::-1][:batch_size]
-            chosen = order[sensitivities[order] > config.tol]
-            add_edges = pool_edges[chosen]
-            add_weights = pool_weights[chosen]
-            graph = graph.add_edges(add_edges, add_weights)
+            with timings.stage("edge_selection"):
+                order = np.argsort(sensitivities)[::-1][:batch_size]
+                chosen = order[sensitivities[order] > config.tol]
+                add_edges = pool_edges[chosen]
+                add_weights = pool_weights[chosen]
+                graph = graph.add_edges(add_edges, add_weights)
 
-            keep = np.ones(pool_edges.shape[0], dtype=bool)
-            keep[chosen] = False
-            pool_edges = pool_edges[keep]
-            pool_weights = pool_weights[keep]
-            pool_zdata = pool_zdata[keep]
+                keep = np.ones(pool_edges.shape[0], dtype=bool)
+                keep[chosen] = False
+                pool_edges = pool_edges[keep]
+                pool_weights = pool_weights[keep]
 
             history.append(
                 IterationRecord(
@@ -265,7 +282,8 @@ class SGLearner:
         unscaled = graph
         scaling_factor = 1.0
         if config.edge_scaling and currents is not None:
-            graph, scaling_factor = spectral_edge_scaling(graph, voltages, currents)
+            with timings.stage("edge_scaling"):
+                graph, scaling_factor = spectral_edge_scaling(graph, voltages, currents)
 
         return SGLResult(
             graph=graph,
@@ -276,6 +294,7 @@ class SGLearner:
             converged=converged,
             scaling_factor=scaling_factor,
             config=config,
+            timings=timings,
         )
 
 

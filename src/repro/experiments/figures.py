@@ -1,0 +1,400 @@
+"""Figure drivers: data series reproducing the paper's evaluation (Sec. III).
+
+Every driver returns a structured result object (arrays and scalars, never
+plots), so callers can render them with matplotlib, feed them to the
+reporting helpers of :mod:`repro.experiments.reporting`, or assert on them in
+tests.  Drivers accept an :class:`~repro.experiments.workloads.ExperimentWorkload`
+so the expensive paper-scale runs and the quick CI-scale runs share one code
+path; when omitted, each driver builds the paper's default workload for its
+figure at ``small`` scale.
+
+``fig11_runtime_scalability`` delegates to the benchmark harness
+(:mod:`repro.bench`), which owns timed execution, per-stage counters and the
+scenario registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.knn_baseline import scaled_knn_baseline
+from repro.baselines.kron import kron_reduction
+from repro.bench.registry import get_scenario, list_scenarios
+from repro.bench.runner import BenchRecord, run_suite
+from repro.core.objective import graphical_lasso_objective
+from repro.core.sgl import SGLearner, SGLResult
+from repro.experiments.workloads import ExperimentWorkload, default_workload
+from repro.graphs.graph import WeightedGraph
+from repro.measurements.reduction import subset_measurements
+from repro.metrics.resistance import (
+    ResistanceComparison,
+    compare_effective_resistances,
+    resistance_correlation,
+)
+
+__all__ = [
+    "Fig01Result",
+    "Fig02Result",
+    "Fig07Result",
+    "Fig08Result",
+    "Fig09Result",
+    "Fig10Result",
+    "Fig11Result",
+    "GraphLearningResult",
+    "fig01_convergence",
+    "fig02_objective_comparison",
+    "fig03_knn_comparison",
+    "fig04_airfoil",
+    "fig05_crack",
+    "fig06_g2_circuit",
+    "fig07_resistance_correlation",
+    "fig08_reduced_networks",
+    "fig09_noise_robustness",
+    "fig10_sample_complexity",
+    "fig11_runtime_scalability",
+]
+
+
+# ----------------------------------------------------------------------
+# Result containers
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GraphLearningResult:
+    """SGL vs. the scaled-kNN comparator on one test case (Figs. 3-6)."""
+
+    workload: str
+    truth: WeightedGraph
+    sgl: SGLResult
+    baseline_graph: WeightedGraph
+    sgl_correlation: float
+    baseline_correlation: float
+
+    @property
+    def sgl_density(self) -> float:
+        """Density of the SGL-learned graph (paper: slightly above 1)."""
+        return self.sgl.graph.density
+
+    @property
+    def baseline_density(self) -> float:
+        """Density of the kNN comparator (paper: near 2.9)."""
+        return self.baseline_graph.density
+
+
+@dataclass(frozen=True)
+class Fig01Result:
+    """Convergence of the maximum edge sensitivity (Fig. 1)."""
+
+    workload: str
+    iterations: np.ndarray
+    max_sensitivities: np.ndarray
+    n_edges: np.ndarray
+    converged: bool
+
+
+@dataclass(frozen=True)
+class Fig02Result:
+    """Graphical-Lasso objective along the SGL iterations vs. kNN (Fig. 2)."""
+
+    workload: str
+    iterations: np.ndarray
+    sgl_objectives: np.ndarray
+    knn_objective: float
+
+
+@dataclass(frozen=True)
+class Fig07Result:
+    """Effective-resistance scatter of learned vs. original graphs (Fig. 7)."""
+
+    workload: str
+    comparison: ResistanceComparison
+
+    @property
+    def correlation(self) -> float:
+        """Pearson correlation of the two resistance series."""
+        return self.comparison.correlation
+
+
+@dataclass(frozen=True)
+class Fig08Result:
+    """Reduced-network learning vs. Kron reduction (Fig. 8)."""
+
+    workload: str
+    n_original_nodes: int
+    kept_nodes: np.ndarray
+    learned: SGLResult
+    kron_graph: WeightedGraph
+    correlation_vs_kron: float
+
+    @property
+    def size_reduction(self) -> float:
+        """Original-to-reduced node-count ratio (the paper's 5x / 10x)."""
+        if self.kept_nodes.size == 0:
+            return float("inf")
+        return self.n_original_nodes / self.kept_nodes.size
+
+
+@dataclass(frozen=True)
+class Fig09Result:
+    """Noise robustness: quality vs. multiplicative noise level (Fig. 9)."""
+
+    workload: str
+    noise_levels: np.ndarray
+    correlations: np.ndarray
+    densities: np.ndarray
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    """Sample complexity: quality vs. measurement count (Fig. 10)."""
+
+    workload: str
+    measurement_counts: np.ndarray
+    correlations: np.ndarray
+    densities: np.ndarray
+
+
+@dataclass(frozen=True)
+class Fig11Result:
+    """Runtime scalability across graph sizes (Fig. 11), via repro.bench."""
+
+    scenarios: tuple[str, ...]
+    n_nodes: np.ndarray
+    seconds: np.ndarray
+    records: tuple[BenchRecord, ...] = field(default=())
+
+    def stage_seconds(self, stage: str) -> np.ndarray:
+        """Per-scenario seconds spent in one pipeline stage."""
+        return np.array(
+            [
+                rec.stage_seconds.get(stage, {}).get("seconds", 0.0)
+                for rec in self.records
+            ],
+            dtype=np.float64,
+        )
+
+
+# ----------------------------------------------------------------------
+# Drivers
+# ----------------------------------------------------------------------
+def _resolve(workload: ExperimentWorkload | None, case: str) -> ExperimentWorkload:
+    return workload if workload is not None else default_workload(case)
+
+
+def fig01_convergence(workload: ExperimentWorkload | None = None) -> Fig01Result:
+    """Fig. 1: maximum edge sensitivity per densification iteration."""
+    workload = _resolve(workload, "2d_mesh")
+    result = SGLearner(workload.config).fit(workload.measurements())
+    history = result.history
+    return Fig01Result(
+        workload=workload.name,
+        iterations=history.iterations,
+        max_sensitivities=history.max_sensitivities,
+        n_edges=np.array([r.n_edges for r in history], dtype=np.int64),
+        converged=result.converged,
+    )
+
+
+def fig02_objective_comparison(
+    workload: ExperimentWorkload | None = None,
+) -> Fig02Result:
+    """Fig. 2: graphical-Lasso objective of SGL iterates vs. the kNN graph."""
+    workload = _resolve(workload, "2d_mesh")
+    workload = workload.with_config(track_objective=True)
+    data = workload.measurements()
+    result = SGLearner(workload.config).fit(data)
+    knn = scaled_knn_baseline(data)
+    knn_objective = graphical_lasso_objective(
+        knn,
+        data.voltages,
+        sigma_sq=workload.config.sigma_sq,
+        n_eigenvalues=workload.config.objective_eigenvalues,
+        seed=workload.config.seed,
+    )
+    objectives = np.array(
+        [r.objective if r.objective is not None else np.nan for r in result.history],
+        dtype=np.float64,
+    )
+    return Fig02Result(
+        workload=workload.name,
+        iterations=result.history.iterations,
+        sgl_objectives=objectives,
+        knn_objective=float(knn_objective),
+    )
+
+
+def _learn_case(workload: ExperimentWorkload, *, n_pairs: int = 200) -> GraphLearningResult:
+    """Shared driver of the per-graph studies (Figs. 3-6)."""
+    data = workload.measurements()
+    result = SGLearner(workload.config).fit(data)
+    baseline = scaled_knn_baseline(data)
+    sgl_corr = resistance_correlation(
+        workload.graph, result.graph, n_pairs=n_pairs, seed=workload.seed
+    )
+    baseline_corr = resistance_correlation(
+        workload.graph, baseline, n_pairs=n_pairs, seed=workload.seed
+    )
+    return GraphLearningResult(
+        workload=workload.name,
+        truth=workload.graph,
+        sgl=result,
+        baseline_graph=baseline,
+        sgl_correlation=sgl_corr,
+        baseline_correlation=baseline_corr,
+    )
+
+
+def fig03_knn_comparison(
+    workload: ExperimentWorkload | None = None,
+) -> GraphLearningResult:
+    """Fig. 3: SGL vs. the 5NN comparator on the 2-D mesh."""
+    return _learn_case(_resolve(workload, "2d_mesh"))
+
+
+def fig04_airfoil(workload: ExperimentWorkload | None = None) -> GraphLearningResult:
+    """Fig. 4: the airfoil FEM case."""
+    return _learn_case(_resolve(workload, "airfoil"))
+
+
+def fig05_crack(workload: ExperimentWorkload | None = None) -> GraphLearningResult:
+    """Fig. 5: the cracked-plate FEM case."""
+    return _learn_case(_resolve(workload, "crack"))
+
+
+def fig06_g2_circuit(workload: ExperimentWorkload | None = None) -> GraphLearningResult:
+    """Fig. 6: the irregular circuit-grid case."""
+    return _learn_case(_resolve(workload, "g2_circuit"))
+
+
+def fig07_resistance_correlation(
+    workload: ExperimentWorkload | None = None,
+    *,
+    n_pairs: int = 200,
+) -> Fig07Result:
+    """Fig. 7: effective resistances of learned vs. original node pairs."""
+    workload = _resolve(workload, "2d_mesh")
+    data = workload.measurements()
+    result = SGLearner(workload.config).fit(data)
+    comparison = compare_effective_resistances(
+        workload.graph, result.graph, n_pairs=n_pairs, seed=workload.seed
+    )
+    return Fig07Result(workload=workload.name, comparison=comparison)
+
+
+def fig08_reduced_networks(
+    workload: ExperimentWorkload | None = None,
+    *,
+    fraction: float = 0.2,
+) -> Fig08Result:
+    """Fig. 8: learn a reduced network from a voltage subset, vs. Kron.
+
+    A random ``fraction`` of the nodes keeps its voltage rows (currents are
+    dropped, as in the paper); SGL learns a graph over that subset, and the
+    result is scored against the Kron reduction of the ground truth onto the
+    same nodes via effective-resistance correlation.
+    """
+    workload = _resolve(workload, "2d_mesh")
+    data = workload.measurements()
+    reduced, kept = subset_measurements(data, fraction, seed=workload.seed)
+    beta = min(1.0, max(1e-3, 10.0 / max(kept.size, 1)))
+    config = workload.with_config(beta=beta, edge_scaling=False).config
+    learned = SGLearner(config).fit(reduced)
+    kron = kron_reduction(workload.graph, kept)
+    corr = resistance_correlation(
+        kron, learned.graph, n_pairs=min(200, kept.size * 2), seed=workload.seed
+    )
+    return Fig08Result(
+        workload=workload.name,
+        n_original_nodes=workload.graph.n_nodes,
+        kept_nodes=kept,
+        learned=learned,
+        kron_graph=kron,
+        correlation_vs_kron=corr,
+    )
+
+
+def fig09_noise_robustness(
+    workload: ExperimentWorkload | None = None,
+    *,
+    noise_levels: tuple[float, ...] = (0.0, 0.01, 0.05, 0.1),
+    n_pairs: int = 200,
+) -> Fig09Result:
+    """Fig. 9: learned-graph quality under multiplicative voltage noise."""
+    workload = _resolve(workload, "2d_mesh")
+    correlations, densities = [], []
+    for level in noise_levels:
+        data = workload.measurements(noise_level=level)
+        result = SGLearner(workload.config).fit(data)
+        correlations.append(
+            resistance_correlation(
+                workload.graph, result.graph, n_pairs=n_pairs, seed=workload.seed
+            )
+        )
+        densities.append(result.graph.density)
+    return Fig09Result(
+        workload=workload.name,
+        noise_levels=np.asarray(noise_levels, dtype=np.float64),
+        correlations=np.asarray(correlations, dtype=np.float64),
+        densities=np.asarray(densities, dtype=np.float64),
+    )
+
+
+def fig10_sample_complexity(
+    workload: ExperimentWorkload | None = None,
+    *,
+    measurement_counts: tuple[int, ...] = (10, 25, 50, 100),
+    n_pairs: int = 200,
+) -> Fig10Result:
+    """Fig. 10: learned-graph quality vs. the number of measurements."""
+    workload = _resolve(workload, "2d_mesh")
+    correlations, densities = [], []
+    for count in measurement_counts:
+        data = workload.with_measurements(count).measurements()
+        result = SGLearner(workload.config).fit(data)
+        correlations.append(
+            resistance_correlation(
+                workload.graph, result.graph, n_pairs=n_pairs, seed=workload.seed
+            )
+        )
+        densities.append(result.graph.density)
+    return Fig10Result(
+        workload=workload.name,
+        measurement_counts=np.asarray(measurement_counts, dtype=np.int64),
+        correlations=np.asarray(correlations, dtype=np.float64),
+        densities=np.asarray(densities, dtype=np.float64),
+    )
+
+
+def fig11_runtime_scalability(
+    scenarios: tuple[str, ...] | list[str] | None = None,
+    *,
+    suite: str = "scaling",
+    repeats: int = 1,
+    warmup: int = 0,
+) -> Fig11Result:
+    """Fig. 11: SGL runtime vs. graph size, via the benchmark harness.
+
+    Parameters
+    ----------
+    scenarios:
+        Explicit scenario names from :func:`repro.bench.list_scenarios`;
+        defaults to the registry's ``scaling`` suite (two graph families
+        swept across scale tiers).
+    suite:
+        Suite to sweep when ``scenarios`` is not given.
+    repeats, warmup:
+        Forwarded to :func:`repro.bench.runner.run_suite`.
+    """
+    names = list(scenarios) if scenarios is not None else list_scenarios(suite)
+    specs = [get_scenario(name) for name in names]
+    records = run_suite(specs, warmup=warmup, repeats=repeats)
+    sgl_records = [rec for rec in records if rec.method == "sgl"]
+    order = np.argsort([rec.n_nodes for rec in sgl_records])
+    sgl_records = [sgl_records[i] for i in order]
+    return Fig11Result(
+        scenarios=tuple(rec.scenario for rec in sgl_records),
+        n_nodes=np.array([rec.n_nodes for rec in sgl_records], dtype=np.int64),
+        seconds=np.array([rec.mean_seconds for rec in sgl_records], dtype=np.float64),
+        records=tuple(sgl_records),
+    )

@@ -1,0 +1,96 @@
+"""Plain-text rendering of experiment results (paper-style summaries).
+
+The figure drivers return data-series objects; these helpers turn them into
+aligned text tables so examples, the benchmark CLI and test logs can print
+readable summaries without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.figures import GraphLearningResult
+
+__all__ = ["format_table", "summarize_learning_result"]
+
+
+def _render(value, floatfmt: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    *,
+    floatfmt: str = ".4g",
+    indent: str = "",
+) -> str:
+    """Render rows as an aligned plain-text table.
+
+    Parameters
+    ----------
+    headers:
+        Column titles.
+    rows:
+        Row cell values; floats are formatted with ``floatfmt``, booleans as
+        yes/no, everything else with ``str``.
+    floatfmt:
+        :func:`format` spec applied to float cells.
+    indent:
+        Prefix prepended to every line.
+
+    Examples
+    --------
+    >>> print(format_table(["case", "density"], [["2d_mesh", 1.1234]]))
+    case     density
+    -------  -------
+    2d_mesh  1.123
+    """
+    rendered = [[_render(cell, floatfmt) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def line(cells: Sequence[str]) -> str:
+        return indent + "  ".join(
+            cell.ljust(width) for cell, width in zip(cells, widths)
+        ).rstrip()
+
+    out = [line(list(headers)), line(["-" * width for width in widths])]
+    out.extend(line(row) for row in rendered)
+    return "\n".join(out)
+
+
+def summarize_learning_result(result: GraphLearningResult) -> str:
+    """One paper-style summary table for an SGL-vs-kNN comparison run."""
+    rows = [
+        [
+            "SGL",
+            result.sgl_density,
+            result.sgl_correlation,
+            result.sgl.n_iterations,
+            result.sgl.converged,
+        ],
+        [
+            "kNN (scaled)",
+            result.baseline_density,
+            result.baseline_correlation,
+            0,
+            True,
+        ],
+    ]
+    table = format_table(
+        ["method", "density |E|/|V|", "resistance corr", "iterations", "converged"],
+        rows,
+    )
+    truth = result.truth
+    header = (
+        f"{result.workload}: N={truth.n_nodes}, |E|={truth.n_edges} "
+        f"(density {truth.density:.2f})"
+    )
+    return header + "\n" + table

@@ -1,0 +1,197 @@
+"""Benchmark harness tests: registry, runner, artifact schema, CLI, gating."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    ArtifactError,
+    BenchRecord,
+    compare,
+    get_scenario,
+    list_scenarios,
+    list_suites,
+    load_artifact,
+    make_artifact,
+    run_scenario,
+    save_artifact,
+    validate_artifact,
+)
+from repro.bench.cli import main
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def test_smoke_suite_has_at_least_five_scenarios():
+    assert len(list_scenarios("smoke")) >= 5
+
+
+def test_default_suites_registered():
+    assert {"smoke", "full", "scaling"} <= set(list_suites())
+
+
+def test_unknown_scenario_raises():
+    with pytest.raises(KeyError):
+        get_scenario("no_such/scenario")
+
+
+def test_scenarios_are_reproducible():
+    spec = get_scenario("grid_2d/tiny")
+    assert spec.build_graph() == spec.build_graph()
+    first = spec.build_measurements()
+    second = spec.build_measurements()
+    assert (first.voltages == second.voltages).all()
+
+
+def test_scaling_suite_spans_tiers():
+    tiers = {get_scenario(name).tier for name in list_scenarios("scaling")}
+    assert {"tiny", "small", "medium"} <= tiers
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def tiny_records():
+    return run_scenario(
+        get_scenario("grid_2d/tiny"),
+        repeats=2,
+        baselines=("knn_baseline",),
+        track_memory=True,
+    )
+
+
+def test_runner_emits_sgl_and_baseline_records(tiny_records):
+    methods = [record.method for record in tiny_records]
+    assert methods == ["sgl", "knn_baseline"]
+
+
+def test_sgl_record_contents(tiny_records):
+    record = tiny_records[0]
+    assert record.n_nodes == 225
+    assert len(record.wall_seconds) == 2
+    assert all(seconds > 0 for seconds in record.wall_seconds)
+    for stage in ("knn", "initial_tree", "embedding", "sensitivity"):
+        assert stage in record.stage_seconds
+    assert 0 < record.quality["density"] < 2.0
+    assert record.quality["resistance_correlation"] > 0.5
+    assert record.peak_memory_bytes > 0
+    assert record.info["converged"]
+
+
+def test_record_dict_roundtrip(tiny_records):
+    record = tiny_records[0]
+    rebuilt = BenchRecord.from_dict(json.loads(json.dumps(record.as_dict())))
+    assert rebuilt == record
+
+
+# ----------------------------------------------------------------------
+# Artifact schema
+# ----------------------------------------------------------------------
+def test_artifact_roundtrip(tiny_records, tmp_path):
+    artifact = make_artifact("unit", tiny_records, run_config={"repeats": 2})
+    path = save_artifact(artifact, tmp_path / "BENCH_unit.json")
+    loaded = load_artifact(path)
+    assert loaded == artifact
+    assert loaded["schema_version"] == 1
+    assert len(loaded["results"]) == 2
+
+
+def test_validate_rejects_malformed(tiny_records):
+    artifact = make_artifact("unit", tiny_records)
+    broken = json.loads(json.dumps(artifact))
+    del broken["results"][0]["wall_seconds"]
+    with pytest.raises(ArtifactError):
+        validate_artifact(broken)
+    with pytest.raises(ArtifactError):
+        validate_artifact({"schema": "something-else"})
+
+
+def test_compare_flags_time_regression(tiny_records):
+    baseline = make_artifact("unit", tiny_records)
+    slowed = json.loads(json.dumps(baseline))
+    for record in slowed["results"]:
+        record["wall_seconds"] = [1.3 * value for value in record["wall_seconds"]]
+    assert compare(baseline, baseline).ok
+    report = compare(baseline, slowed)
+    assert not report.ok
+    assert all(reg.kind == "time" for reg in report.regressions)
+    # The reverse direction (a speed-up) must pass.
+    assert compare(slowed, baseline).ok
+
+
+def test_compare_flags_quality_regression(tiny_records):
+    baseline = make_artifact("unit", tiny_records)
+    worse = json.loads(json.dumps(baseline))
+    worse["results"][0]["quality"]["resistance_correlation"] -= 0.2
+    report = compare(baseline, worse)
+    assert not report.ok
+    assert any(reg.kind == "quality" for reg in report.regressions)
+
+
+def test_compare_treats_new_scenarios_as_notes(tiny_records):
+    baseline = make_artifact("unit", tiny_records[:1])
+    candidate = make_artifact("unit", tiny_records)
+    report = compare(baseline, candidate)
+    assert report.ok
+    assert report.notes
+
+
+# ----------------------------------------------------------------------
+# CLI (the acceptance-criteria flow)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def smoke_artifact_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("bench") / "BENCH_smoke.json"
+    code = main(["run", "--suite", "smoke", "--out", str(path), "--no-memory"])
+    assert code == 0
+    return path
+
+
+def test_cli_smoke_run_emits_valid_artifact(smoke_artifact_path):
+    artifact = load_artifact(smoke_artifact_path)
+    assert artifact["tag"] == "smoke"
+    scenarios = {record["scenario"] for record in artifact["results"]}
+    methods = {record["method"] for record in artifact["results"]}
+    assert len(scenarios) >= 5
+    assert "sgl" in methods
+    assert "knn_baseline" in methods  # >= 1 baseline rides along
+    for record in artifact["results"]:
+        if record["method"] == "sgl":
+            assert record["stage_seconds"], record["scenario"]
+            assert "resistance_correlation" in record["quality"]
+
+
+def test_cli_self_compare_exits_zero(smoke_artifact_path):
+    assert main(["compare", str(smoke_artifact_path), str(smoke_artifact_path)]) == 0
+
+
+def test_cli_compare_fails_on_injected_slowdown(smoke_artifact_path, tmp_path):
+    artifact = json.loads(smoke_artifact_path.read_text())
+    for record in artifact["results"]:
+        record["wall_seconds"] = [1.25 * value for value in record["wall_seconds"]]
+    slow_path = tmp_path / "BENCH_slow.json"
+    slow_path.write_text(json.dumps(artifact))
+    assert main(["compare", str(smoke_artifact_path), str(slow_path)]) == 1
+
+
+def test_cli_list_runs(capsys):
+    assert main(["list", "--suite", "smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "grid_2d/tiny" in out
+
+
+def test_cli_rejects_unknown_baseline(tmp_path):
+    code = main(
+        [
+            "run",
+            "--scenario",
+            "grid_2d/tiny",
+            "--out",
+            str(tmp_path / "x.json"),
+            "--baselines",
+            "bogus",
+        ]
+    )
+    assert code == 2

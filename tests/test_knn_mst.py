@@ -1,0 +1,63 @@
+"""Unit tests for kNN graph construction and spanning-tree extraction."""
+
+import numpy as np
+import pytest
+
+from repro.knn import knn_graph, maximum_spanning_tree, minimum_spanning_tree
+
+
+@pytest.fixture(scope="module")
+def features():
+    rng = np.random.default_rng(42)
+    return rng.standard_normal((120, 8))
+
+
+def test_knn_graph_is_connected(features):
+    graph = knn_graph(features, 5, ensure_connected=True)
+    assert graph.n_nodes == features.shape[0]
+    assert graph.is_connected()
+
+
+def test_knn_graph_positive_sgl_weights(features):
+    graph = knn_graph(features, 5, weight_scheme="sgl")
+    assert graph.n_edges > 0
+    assert np.all(graph.weights > 0)
+
+
+def test_knn_graph_degree_bounds(features):
+    k = 4
+    graph = knn_graph(features, k, ensure_connected=False)
+    adjacency = graph.adjacency()
+    degrees = np.diff(adjacency.indptr)
+    # Undirected union of directed kNN lists: every node keeps at least its
+    # own k neighbours (popular "hub" nodes may collect many more in-links),
+    # and the union has at most N*k distinct edges in total.
+    assert degrees.min() >= k
+    assert graph.n_edges <= graph.n_nodes * k
+
+
+def test_knn_graph_respects_k_cap(features):
+    n = features.shape[0]
+    graph = knn_graph(features, n - 1, ensure_connected=False)
+    # k = N-1 yields the complete graph.
+    assert graph.n_edges == n * (n - 1) // 2
+
+
+def test_maximum_spanning_tree_structure(features):
+    graph = knn_graph(features, 5, ensure_connected=True)
+    tree = maximum_spanning_tree(graph)
+    assert tree.n_nodes == graph.n_nodes
+    assert tree.n_edges == graph.n_nodes - 1
+    assert tree.is_connected()
+    # Tree edges are a subset of the source graph's edges with equal weights.
+    for (s, t), w in zip(tree.edges, tree.weights):
+        assert graph.has_edge(int(s), int(t))
+        assert graph.edge_weight(int(s), int(t)) == pytest.approx(w)
+
+
+def test_maximum_vs_minimum_spanning_tree(features):
+    graph = knn_graph(features, 5, ensure_connected=True)
+    maximum = maximum_spanning_tree(graph)
+    minimum = minimum_spanning_tree(graph)
+    assert maximum.total_weight >= minimum.total_weight
+    assert minimum.n_edges == graph.n_nodes - 1

@@ -1,0 +1,68 @@
+"""End-to-end SGL recovery on a 2-D grid (the paper's headline claim).
+
+Learning a 20x20 grid back from 50 simulated measurement pairs must produce
+an ultra-sparse graph (density well below the truth's ~2) whose effective
+resistances correlate strongly with the ground truth.
+"""
+
+import numpy as np
+import pytest
+
+from repro import SGLearner, simulate_measurements
+from repro.graphs.generators import grid_2d
+from repro.metrics import resistance_correlation
+
+
+@pytest.fixture(scope="module")
+def grid_recovery():
+    truth = grid_2d(20, 20)
+    data = simulate_measurements(truth, n_measurements=50, seed=0)
+    result = SGLearner(beta=0.025).fit(data)
+    return truth, data, result
+
+
+def test_learned_density_is_ultra_sparse(grid_recovery):
+    _, _, result = grid_recovery
+    assert result.graph.density <= 1.6
+
+
+def test_learner_converges(grid_recovery):
+    _, _, result = grid_recovery
+    assert result.converged
+    assert 0 < result.n_iterations <= result.config.max_iterations
+
+
+def test_resistance_correlation_above_threshold(grid_recovery):
+    truth, _, result = grid_recovery
+    correlation = resistance_correlation(truth, result.graph, n_pairs=200, seed=0)
+    assert correlation >= 0.75
+
+
+def test_edge_scaling_applied(grid_recovery):
+    _, _, result = grid_recovery
+    assert result.scaling_factor > 0
+    assert np.isfinite(result.scaling_factor)
+    # Scaled and unscaled graphs share topology, differ only by the factor.
+    assert result.graph.n_edges == result.unscaled_graph.n_edges
+    np.testing.assert_allclose(
+        result.graph.weights, result.unscaled_graph.weights * result.scaling_factor
+    )
+
+
+def test_stage_timings_recorded(grid_recovery):
+    _, _, result = grid_recovery
+    stages = result.timings.stages
+    for name in ("knn", "initial_tree", "embedding", "sensitivity", "edge_scaling"):
+        assert name in stages, f"missing stage {name!r}"
+        assert stages[name].seconds >= 0
+        assert stages[name].calls >= 1
+    # The densification loop runs embedding once per iteration (incl. the
+    # final convergence check).
+    assert stages["embedding"].calls >= result.n_iterations
+    assert result.timings.total_seconds > 0
+
+
+def test_learned_graph_is_connected(grid_recovery):
+    truth, _, result = grid_recovery
+    assert result.graph.n_nodes == truth.n_nodes
+    assert result.graph.is_connected()
