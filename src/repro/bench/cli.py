@@ -20,6 +20,7 @@ regression beyond the thresholds)::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import time
 
@@ -74,6 +75,14 @@ def build_parser() -> argparse.ArgumentParser:
         f"(default knn_baseline; available: {','.join(available_baselines())}; "
         "'none' disables)",
     )
+    p_run.add_argument(
+        "--engine",
+        choices=("stateless", "incremental"),
+        default=None,
+        help="override SGLConfig.embedding_engine for every scenario "
+        "(A/B the warm-started incremental spectral engine against the "
+        "recompute-from-scratch path; default: scenario settings)",
+    )
     p_run.add_argument("--no-memory", action="store_true",
                        help="skip the tracemalloc peak-memory pass")
     p_run.add_argument("--quality-pairs", type=int, default=120,
@@ -86,7 +95,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("baseline", help="reference artifact (e.g. from main)")
     p_cmp.add_argument("candidate", help="artifact under test")
     p_cmp.add_argument("--time-threshold", type=float, default=0.20,
-                       help="max relative slowdown of mean wall time (default 0.20)")
+                       help="max relative slowdown of the fastest-repeat wall time "
+                       "(default 0.20)")
     p_cmp.add_argument("--quality-threshold", type=float, default=0.05,
                        help="max absolute resistance-correlation drop (default 0.05)")
     return parser
@@ -134,6 +144,11 @@ def _cmd_run(args) -> int:
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
+    if args.engine is not None:
+        specs = [
+            dataclasses.replace(spec, sgl={**spec.sgl, "embedding_engine": args.engine})
+            for spec in specs
+        ]
 
     baselines: tuple[str, ...] = ()
     if args.baselines and args.baselines.lower() != "none":
@@ -187,6 +202,7 @@ def _cmd_run(args) -> int:
             "baselines": list(baselines),
             "track_memory": not args.no_memory,
             "quality_pairs": args.quality_pairs,
+            "embedding_engine": args.engine,
         },
     )
     path = save_artifact(artifact, out)

@@ -15,15 +15,16 @@ Artifact layout (``BENCH_<tag>.json``, schema v1)::
 :func:`compare` diffs two artifacts record-by-record (keyed on
 ``(scenario, method)``) and flags
 
-* *time regressions*: mean wall-clock slowed down by more than
-  ``time_threshold`` (relative, default 20 % — so an injected 25 % slowdown
-  fails the gate);
+* *time regressions*: the fastest repeat's wall-clock slowed down by more
+  than ``time_threshold`` (relative, default 20 % — so an injected 25 %
+  slowdown fails the gate; the fastest repeat is used because the mean is
+  dominated by scheduler interference on busy machines);
 * *quality regressions*: effective-resistance correlation dropped by more
   than ``quality_threshold`` (absolute), or learned density grew by more
   than ``time_threshold`` (relative).
 
 Records present on only one side are reported as notes, not failures, so
-adding scenarios never breaks the gate.  Sub-millisecond timings are exempt
+adding scenarios never breaks the gate.  Few-millisecond timings are exempt
 from the time gate (``min_seconds``) — they are dominated by timer noise.
 """
 
@@ -220,17 +221,13 @@ class ComparisonReport:
         return "\n".join(lines)
 
 
-def _mean(values: list) -> float:
-    return sum(values) / len(values) if values else 0.0
-
-
 def compare(
     baseline: dict,
     candidate: dict,
     *,
     time_threshold: float = 0.20,
     quality_threshold: float = 0.05,
-    min_seconds: float = 1e-3,
+    min_seconds: float = 1e-2,
 ) -> ComparisonReport:
     """Diff two artifacts and flag regressions beyond the thresholds.
 
@@ -240,13 +237,15 @@ def compare(
         Validated artifacts (see :func:`load_artifact`); ``candidate`` is the
         run under test, ``baseline`` the reference it must not regress from.
     time_threshold:
-        Maximum tolerated relative slowdown of the mean wall time
-        (0.20 = 20 %).  Also used as the relative bound on density growth.
+        Maximum tolerated relative slowdown of the *fastest repeat* wall
+        time (0.20 = 20 %) — the fastest repeat is far less sensitive to
+        scheduler interference than the mean.  Also used as the relative
+        bound on density growth.
     quality_threshold:
         Maximum tolerated absolute drop in ``resistance_correlation``.
     min_seconds:
-        Records whose baseline mean wall time is below this are exempt from
-        the time gate (timer noise dominates).
+        Records whose baseline wall time is below this are exempt from the
+        time gate (timer noise dominates few-millisecond records).
     """
     validate_artifact(baseline)
     validate_artifact(candidate)
@@ -265,8 +264,8 @@ def compare(
         base, cand = base_index[key], cand_index[key]
         report.n_compared += 1
 
-        base_time = _mean(base["wall_seconds"])
-        cand_time = _mean(cand["wall_seconds"])
+        base_time = min(base["wall_seconds"], default=0.0)
+        cand_time = min(cand["wall_seconds"], default=0.0)
         if base_time >= min_seconds and cand_time > base_time * (1.0 + time_threshold):
             slowdown = cand_time / base_time - 1.0
             report.regressions.append(
@@ -277,7 +276,7 @@ def compare(
                     baseline=base_time,
                     candidate=cand_time,
                     message=(
-                        f"mean wall time {base_time:.4f}s -> {cand_time:.4f}s "
+                        f"fastest wall time {base_time:.4f}s -> {cand_time:.4f}s "
                         f"(+{slowdown:.0%}, threshold {time_threshold:.0%})"
                     ),
                 )

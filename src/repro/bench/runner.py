@@ -264,6 +264,8 @@ def run_scenario(
                 "setup_seconds": setup_seconds,
                 "warmup": warmup,
                 "repeats": repeats,
+                "embedding_engine": result.config.embedding_engine,
+                "engine_stats": result.engine_stats,
             },
         )
     ]

@@ -40,6 +40,15 @@ class SGLConfig:
     eigensolver:
         Backend for Step 2: ``"auto"``, ``"dense"``, ``"shift-invert"``,
         ``"lobpcg"`` or ``"multilevel"`` (the paper's near-linear-time path).
+        With the incremental engine this backend only serves *cold* solves;
+        warm refreshes use Rayleigh-Ritz / warm-started LOBPCG.
+    embedding_engine:
+        ``"incremental"`` (default) keeps a warm-started
+        :class:`~repro.embedding.EmbeddingEngine` alive across densification
+        iterations, falling back to full solves automatically whenever warm
+        residuals fail the acceptance test; ``"stateless"`` recomputes the
+        embedding from scratch every iteration (the pre-engine behaviour,
+        kept for A/B benchmarking and debugging).
     multilevel_coarse_size:
         Coarsest-level size when ``eigensolver="multilevel"``.
     edge_scaling:
@@ -58,6 +67,15 @@ class SGLConfig:
         ``log det`` in the objective (the paper uses 50).
     seed:
         Random seed shared by the eigensolver starts and any sampling.
+
+    Examples
+    --------
+    >>> from repro import SGLConfig
+    >>> config = SGLConfig(k=5, beta=0.01)
+    >>> config.edges_per_iteration(1000)
+    10
+    >>> config.embedding_engine
+    'incremental'
     """
 
     k: int = 5
@@ -67,6 +85,7 @@ class SGLConfig:
     sigma_sq: float = np.inf
     max_iterations: int = 500
     eigensolver: str = "auto"
+    embedding_engine: str = "incremental"
     multilevel_coarse_size: int = 200
     edge_scaling: bool = True
     initial_graph: str = "mst"
@@ -91,6 +110,8 @@ class SGLConfig:
             raise ValueError("initial_graph must be 'mst', 'knn' or 'random-tree'")
         if self.eigensolver not in {"auto", "dense", "shift-invert", "lobpcg", "multilevel"}:
             raise ValueError(f"unknown eigensolver {self.eigensolver!r}")
+        if self.embedding_engine not in {"stateless", "incremental"}:
+            raise ValueError("embedding_engine must be 'stateless' or 'incremental'")
         if self.objective_eigenvalues < 1:
             raise ValueError("objective_eigenvalues must be at least 1")
 

@@ -47,6 +47,22 @@ def spectral_clustering(
     -------
     numpy.ndarray
         Length-``N`` integer cluster labels.
+
+    Examples
+    --------
+    Two triangles joined by a single weak edge split cleanly in two:
+
+    >>> from repro.graphs.graph import WeightedGraph
+    >>> from repro.embedding import spectral_clustering
+    >>> barbell = WeightedGraph(
+    ...     6,
+    ...     [0, 0, 1, 3, 3, 4, 2],
+    ...     [1, 2, 2, 4, 5, 5, 3],
+    ...     [1, 1, 1, 1, 1, 1, 0.05],
+    ... )
+    >>> labels = spectral_clustering(barbell, 2, seed=0)
+    >>> bool(labels[0] == labels[1] == labels[2] != labels[3])
+    True
     """
     if n_clusters < 1:
         raise ValueError("n_clusters must be at least 1")

@@ -41,6 +41,13 @@ def spectral_layout(
     -------
     numpy.ndarray
         ``(N, dimensions)`` array of node coordinates.
+
+    Examples
+    --------
+    >>> from repro.graphs.generators import grid_2d
+    >>> from repro.embedding import spectral_layout
+    >>> spectral_layout(grid_2d(5, 5)).shape
+    (25, 2)
     """
     if dimensions < 1:
         raise ValueError("dimensions must be at least 1")

@@ -17,7 +17,17 @@ __all__ = ["KMeansResult", "kmeans"]
 
 @dataclass(frozen=True)
 class KMeansResult:
-    """Result of a k-means run."""
+    """Result of a k-means run.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.embedding import kmeans
+    >>> points = np.array([[0.0], [0.1], [5.0], [5.1]])
+    >>> result = kmeans(points, 2, seed=0)
+    >>> result.converged, int(result.labels[0] != result.labels[2])
+    (True, 1)
+    """
 
     labels: np.ndarray
     centers: np.ndarray
@@ -70,6 +80,17 @@ def kmeans(
         Number of k-means++ restarts; the lowest-inertia run is returned.
     seed:
         Seed for the restarts.
+
+    Examples
+    --------
+    Two well-separated 1-D blobs are recovered exactly:
+
+    >>> import numpy as np
+    >>> from repro.embedding import kmeans
+    >>> points = np.array([[0.0], [0.2], [9.8], [10.0]])
+    >>> labels = kmeans(points, 2, seed=0).labels
+    >>> bool(labels[0] == labels[1]) and bool(labels[2] == labels[3])
+    True
     """
     points = np.asarray(points, dtype=np.float64)
     if points.ndim != 2:

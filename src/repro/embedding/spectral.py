@@ -9,6 +9,12 @@ Euclidean distances approximate effective resistances (exactly so when
 ``sigma^2 -> inf`` and ``r -> N``).  :class:`SpectralEmbedding` wraps the
 eigenpairs, the scaled subspace matrix and the node-pair distance queries the
 sensitivity computation needs.
+
+:func:`spectral_embedding_matrix` is the *stateless* entry point: every call
+solves the eigenproblem from scratch.  The SGL densification loop, which
+re-embeds an only-slightly-changed graph every iteration, uses the stateful
+warm-started :class:`~repro.embedding.engine.EmbeddingEngine` instead and
+only falls back to this function for cold solves.
 """
 
 from __future__ import annotations
@@ -22,7 +28,7 @@ from repro.graphs.graph import WeightedGraph
 from repro.linalg.eigen import laplacian_eigenpairs
 from repro.linalg.multilevel import MultilevelEigensolver
 
-__all__ = ["SpectralEmbedding", "spectral_embedding_matrix"]
+__all__ = ["SpectralEmbedding", "embedding_from_eigenpairs", "spectral_embedding_matrix"]
 
 
 @dataclass(frozen=True)
@@ -40,6 +46,16 @@ class SpectralEmbedding:
         ``1/sqrt(lambda_i + 1/sigma^2)``, shape ``(N, r-1)``.
     sigma_sq:
         The prior variance used for the scaling (``inf`` by default).
+
+    Examples
+    --------
+    >>> from repro.graphs.generators import grid_2d
+    >>> from repro.embedding import spectral_embedding_matrix
+    >>> emb = spectral_embedding_matrix(grid_2d(6, 6), r=4)
+    >>> emb.n_nodes, emb.dimension
+    (36, 3)
+    >>> int(emb.pair_distances_squared([(0, 35)]).argmax())
+    0
     """
 
     eigenvalues: np.ndarray
@@ -62,6 +78,42 @@ class SpectralEmbedding:
         pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
         diffs = self.coordinates[pairs[:, 0]] - self.coordinates[pairs[:, 1]]
         return np.einsum("ij,ij->i", diffs, diffs)
+
+
+def embedding_from_eigenpairs(
+    values: np.ndarray,
+    vectors: np.ndarray,
+    sigma_sq: float = np.inf,
+) -> SpectralEmbedding:
+    """Wrap precomputed nontrivial eigenpairs into a :class:`SpectralEmbedding`.
+
+    Applies the Eq. (12) scaling ``u_i / sqrt(lambda_i + 1/sigma^2)``.  This
+    is the shared final step of the stateless path
+    (:func:`spectral_embedding_matrix`) and the warm-started incremental
+    engine (:class:`~repro.embedding.engine.EmbeddingEngine`), which obtain
+    the eigenpairs differently but scale them identically.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.embedding.spectral import embedding_from_eigenpairs
+    >>> values = np.array([1.0, 4.0])
+    >>> vectors = np.eye(3)[:, :2]
+    >>> emb = embedding_from_eigenpairs(values, vectors)
+    >>> emb.coordinates[0, 0], emb.coordinates[1, 1]  # 1/sqrt(1), 1/sqrt(4)
+    (np.float64(1.0), np.float64(0.5))
+    """
+    values = np.asarray(values, dtype=np.float64)
+    vectors = np.asarray(vectors, dtype=np.float64)
+    shift = 0.0 if not np.isfinite(sigma_sq) else 1.0 / sigma_sq
+    denom = np.sqrt(np.maximum(values + shift, 1e-300))
+    coordinates = vectors / denom[None, :]
+    return SpectralEmbedding(
+        eigenvalues=values,
+        eigenvectors=vectors,
+        coordinates=coordinates,
+        sigma_sq=float(sigma_sq) if np.isfinite(sigma_sq) else np.inf,
+    )
 
 
 def spectral_embedding_matrix(
@@ -90,6 +142,14 @@ def spectral_embedding_matrix(
         Eigensolver backend.  ``"multilevel"`` uses the coarsen-solve-refine
         solver (near-linear time); the others are forwarded to
         :func:`repro.linalg.laplacian_eigenpairs`.
+
+    Examples
+    --------
+    >>> from repro.graphs.generators import grid_2d
+    >>> from repro.embedding.spectral import spectral_embedding_matrix
+    >>> emb = spectral_embedding_matrix(grid_2d(5, 5), r=3)
+    >>> emb.n_nodes, emb.dimension
+    (25, 2)
     """
     if r < 2:
         raise ValueError("r must be at least 2 (at least one nontrivial eigenvector)")
@@ -103,12 +163,4 @@ def spectral_embedding_matrix(
         values, vectors = laplacian_eigenpairs(
             graph, k, method=method, drop_trivial=True, seed=seed
         )
-    shift = 0.0 if not np.isfinite(sigma_sq) else 1.0 / sigma_sq
-    denom = np.sqrt(np.maximum(values + shift, 1e-300))
-    coordinates = vectors / denom[None, :]
-    return SpectralEmbedding(
-        eigenvalues=values,
-        eigenvectors=vectors,
-        coordinates=coordinates,
-        sigma_sq=float(sigma_sq) if np.isfinite(sigma_sq) else np.inf,
-    )
+    return embedding_from_eigenpairs(values, vectors, sigma_sq)

@@ -97,6 +97,17 @@ class WeightedGraph:
     Instances should be treated as immutable: all "mutating" operations
     (:meth:`add_edges`, :meth:`with_weights`, :meth:`subgraph`, ...) return a
     new graph.
+
+    Examples
+    --------
+    >>> from repro.graphs.graph import WeightedGraph
+    >>> triangle = WeightedGraph(3, [0, 1, 0], [1, 2, 2], [1.0, 2.0, 3.0])
+    >>> triangle.n_nodes, triangle.n_edges, triangle.density
+    (3, 3, 1.0)
+    >>> triangle.edge_weights([(2, 0), (1, 2)]).tolist()
+    [3.0, 2.0]
+    >>> triangle.laplacian().toarray()[0].tolist()
+    [4.0, -1.0, -3.0]
     """
 
     __slots__ = (
@@ -316,6 +327,34 @@ class WeightedGraph:
         lo, hi = min(s, t), max(s, t)
         mask = (self._rows == lo) & (self._cols == hi)
         return float(self._weights[mask][0])
+
+    def edge_weights(self, edges: Sequence[tuple[int, int]] | np.ndarray) -> np.ndarray:
+        """Vectorised weight lookup for an ``(m, 2)`` array of edges.
+
+        Orientation is irrelevant.  All queried edges must be present; a
+        single ``KeyError`` names the first missing edge.  This is the bulk
+        counterpart of :meth:`edge_weight` — one binary search over the
+        canonical edge arrays instead of one O(|E|) scan per edge.
+        """
+        edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        if edges.shape[0] == 0:
+            return np.empty(0, dtype=np.float64)
+        if edges.min() < 0 or edges.max() >= self._n_nodes:
+            raise KeyError("edge endpoint out of range")
+        lo = np.minimum(edges[:, 0], edges[:, 1])
+        hi = np.maximum(edges[:, 0], edges[:, 1])
+        if self.n_edges == 0:
+            raise KeyError(f"edge ({int(lo[0])}, {int(hi[0])}) not in graph")
+        # Canonical edges are lexsorted by (row, col), so the packed keys are
+        # sorted and searchsorted gives each query's candidate position.
+        keys = self._rows * np.int64(self._n_nodes) + self._cols
+        queries = lo * np.int64(self._n_nodes) + hi
+        idx = np.searchsorted(keys, queries)
+        missing = (idx >= keys.size) | (keys[np.minimum(idx, keys.size - 1)] != queries)
+        if missing.any():
+            first = int(np.argmax(missing))
+            raise KeyError(f"edge ({int(lo[first])}, {int(hi[first])}) not in graph")
+        return self._weights[idx].copy()
 
     def neighbors(self, node: int) -> np.ndarray:
         """Sorted array of neighbours of ``node``."""

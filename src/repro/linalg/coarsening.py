@@ -34,6 +34,14 @@ class CoarseLevel:
     prolongation:
         Sparse ``(N_fine, N_coarse)`` piecewise-constant interpolation matrix
         with unit entries, so ``L_coarse = P^T L_fine P``.
+
+    Examples
+    --------
+    >>> from repro.graphs.generators import grid_2d
+    >>> from repro.linalg import coarsen_graph
+    >>> level = coarsen_graph(grid_2d(6, 6))
+    >>> level.aggregates.shape, level.prolongation.shape[0]
+    ((36,), 36)
     """
 
     graph: WeightedGraph
@@ -47,6 +55,16 @@ def heavy_edge_matching(graph: WeightedGraph, *, seed: int | None = 0) -> np.nda
     Visits nodes in random order; each unmatched node is merged with its
     heaviest unmatched neighbour (or left as a singleton aggregate).  Returns
     an array mapping every node to a contiguous aggregate id.
+
+    Examples
+    --------
+    Matching roughly halves the node count of a mesh:
+
+    >>> from repro.graphs.generators import grid_2d
+    >>> from repro.linalg import heavy_edge_matching
+    >>> aggregates = heavy_edge_matching(grid_2d(8, 8), seed=0)
+    >>> bool(32 <= aggregates.max() + 1 <= 40)
+    True
     """
     n = graph.n_nodes
     rng = np.random.default_rng(seed)
@@ -86,6 +104,17 @@ def coarsen_graph(graph: WeightedGraph, *, seed: int | None = 0) -> CoarseLevel:
     The coarse Laplacian is the Galerkin product ``P^T L P``; since ``P`` is
     a partition indicator matrix this is exactly the graph obtained by
     contracting each aggregate and summing parallel edge weights.
+
+    Examples
+    --------
+    >>> from repro.graphs.generators import grid_2d
+    >>> from repro.linalg import coarsen_graph
+    >>> fine = grid_2d(8, 8)
+    >>> level = coarsen_graph(fine, seed=0)
+    >>> bool(level.graph.n_nodes < fine.n_nodes)
+    True
+    >>> bool(level.graph.total_weight <= fine.total_weight)
+    True
     """
     aggregates = heavy_edge_matching(graph, seed=seed)
     n_coarse = int(aggregates.max()) + 1 if aggregates.size else 0

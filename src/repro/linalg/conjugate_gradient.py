@@ -64,6 +64,15 @@ def conjugate_gradient(
     -------
     (x, info):
         The solution estimate and a :class:`CGInfo` convergence report.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.linalg import conjugate_gradient
+    >>> matrix = np.diag([1.0, 2.0, 4.0])
+    >>> x, info = conjugate_gradient(matrix, np.array([1.0, 2.0, 4.0]))
+    >>> info.converged, np.round(x, 6).tolist()
+    (True, [1.0, 1.0, 1.0])
     """
     b = np.asarray(rhs, dtype=np.float64).ravel()
     n = b.size

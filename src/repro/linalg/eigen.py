@@ -12,6 +12,13 @@ entry point with three backends:
   deflation of the all-one null vector, useful when a good initial subspace
   is available (the multilevel solver uses it for refinement).
 
+Both iterative backends accept ``initial_vectors=`` warm starts for callers
+that already hold approximate eigenvectors — e.g. re-solving after a small
+graph update.  (The incremental engine in :mod:`repro.embedding.engine`
+keeps eigenpair state across the SGL densification loop with its own
+Woodbury-corrected inverse-iteration ladder, and falls back to these
+entry points for cold solves.)
+
 The trivial eigenpair (eigenvalue 0, constant eigenvector) is dropped by
 default, matching the paper's use of ``u_2 ... u_r``.
 """
@@ -44,6 +51,20 @@ def rayleigh_ritz(
     Orthonormalises ``basis`` (columns), projects the Laplacian onto it and
     solves the small dense eigenproblem.  Returns Ritz values (ascending) and
     Ritz vectors lifted back to the full space.
+
+    Examples
+    --------
+    Feeding exact eigenvectors back in reproduces the eigenvalues (path graph
+    on three nodes, nontrivial spectrum ``{1, 3}``):
+
+    >>> import numpy as np
+    >>> from repro.graphs.graph import WeightedGraph
+    >>> from repro.linalg.eigen import laplacian_eigenpairs, rayleigh_ritz
+    >>> path = WeightedGraph(3, [0, 1], [1, 2])
+    >>> _, vectors = laplacian_eigenpairs(path, 2, method="dense")
+    >>> values, _ = rayleigh_ritz(path.laplacian(), vectors)
+    >>> np.round(values, 6).tolist()
+    [1.0, 3.0]
     """
     lap = _as_laplacian(laplacian)
     q, _ = np.linalg.qr(np.asarray(basis, dtype=np.float64))
@@ -59,15 +80,34 @@ def _dense_eigenpairs(lap: sp.csr_matrix, k: int) -> tuple[np.ndarray, np.ndarra
 
 
 def _shift_invert_eigenpairs(
-    lap: sp.csr_matrix, k: int, tol: float, seed: int | None
+    lap: sp.csr_matrix,
+    k: int,
+    tol: float,
+    seed: int | None,
+    initial_vectors: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     n = lap.shape[0]
     # Shift-invert around a tiny negative sigma keeps (L - sigma I) SPD and
     # factorisable even though L itself is singular.
     scale = float(lap.diagonal().max()) if n else 1.0
     sigma = -1e-6 * max(scale, 1.0)
-    rng = np.random.default_rng(seed)
-    v0 = rng.standard_normal(n)
+    if initial_vectors is not None and initial_vectors.size:
+        # ARPACK accepts a single starting vector; a good warm start is the
+        # sum of the previous eigenvectors (it overlaps every wanted mode).
+        v0 = np.asarray(initial_vectors, dtype=np.float64).reshape(n, -1).sum(axis=1)
+        norm = np.linalg.norm(v0)
+        if not norm > 0:
+            v0 = np.random.default_rng(seed).standard_normal(n)
+        else:
+            # Blend in the constant mode: warm vectors are typically the
+            # *nontrivial* eigenvectors (orthogonal to the all-one vector),
+            # but shift-invert Lanczos must also resolve the trivial pair —
+            # starting orthogonal to it would leave its convergence to
+            # round-off leakage alone.
+            v0 = v0 + (norm / np.sqrt(n)) * np.ones(n)
+    else:
+        rng = np.random.default_rng(seed)
+        v0 = rng.standard_normal(n)
     values, vectors = spla.eigsh(
         lap.tocsc(), k=min(k, n - 1), sigma=sigma, which="LM", tol=tol, v0=v0
     )
@@ -80,23 +120,32 @@ def _lobpcg_eigenpairs(
     k: int,
     tol: float,
     seed: int | None,
-    initial: np.ndarray | None,
+    initial_vectors: np.ndarray | None,
+    maxiter: int | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     n = lap.shape[0]
-    rng = np.random.default_rng(seed)
-    if initial is None:
-        initial = rng.standard_normal((n, k))
+    if initial_vectors is None:
+        rng = np.random.default_rng(seed)
+        initial_vectors = rng.standard_normal((n, k))
+    else:
+        initial_vectors = np.asarray(initial_vectors, dtype=np.float64).reshape(n, -1)
+        if initial_vectors.shape[1] < k:
+            rng = np.random.default_rng(seed)
+            extra = rng.standard_normal((n, k - initial_vectors.shape[1]))
+            initial_vectors = np.hstack([initial_vectors, extra])
+        elif initial_vectors.shape[1] > k:
+            initial_vectors = initial_vectors[:, :k]
     ones = np.ones((n, 1)) / np.sqrt(n)
     diag = lap.diagonal()
     inv_diag = np.where(diag > 0, 1.0 / np.maximum(diag, 1e-300), 0.0)
     precond = spla.LinearOperator((n, n), matvec=lambda v: inv_diag * v)
     values, vectors = spla.lobpcg(
         lap,
-        initial,
+        initial_vectors,
         M=precond,
         Y=ones,
         tol=tol if tol > 0 else 1e-8,
-        maxiter=max(200, 4 * k),
+        maxiter=maxiter if maxiter is not None else max(200, 4 * k),
         largest=False,
     )
     order = np.argsort(values)
@@ -111,7 +160,8 @@ def laplacian_eigenpairs(
     drop_trivial: bool = True,
     tol: float = 0.0,
     seed: int | None = 0,
-    initial: np.ndarray | None = None,
+    initial_vectors: np.ndarray | None = None,
+    maxiter: int | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Smallest Laplacian eigenpairs, ascending.
 
@@ -133,14 +183,49 @@ def laplacian_eigenpairs(
         Backend tolerance (0 means backend default / machine precision).
     seed:
         Seed for the iterative backends' random starting vectors.
-    initial:
-        Optional initial subspace for the LOBPCG backend.
+    initial_vectors:
+        Optional ``(N, k)`` warm-start subspace for the iterative backends.
+        The LOBPCG backend uses it as its full initial block (padding with
+        random columns when fewer than ``k`` are supplied); the shift-invert
+        backend collapses it into its single ARPACK starting vector (with a
+        constant-mode component blended in so the trivial pair stays
+        reachable).
+    maxiter:
+        Iteration cap for the LOBPCG backend (default ``max(200, 4k)``).
+        Warm-started calls typically pass a small cap since they only need a
+        few iterations to re-converge.
 
     Returns
     -------
     (eigenvalues, eigenvectors):
         ``eigenvalues`` has shape ``(k,)``; ``eigenvectors`` has shape
         ``(N, k)`` with unit-norm columns.
+
+    Examples
+    --------
+    The path graph on three nodes has Laplacian spectrum ``{0, 1, 3}``; the
+    trivial eigenpair is dropped by default:
+
+    >>> import numpy as np
+    >>> from repro.graphs.graph import WeightedGraph
+    >>> from repro.linalg.eigen import laplacian_eigenpairs
+    >>> path = WeightedGraph(3, [0, 1], [1, 2])
+    >>> values, vectors = laplacian_eigenpairs(path, 2, method="dense")
+    >>> np.round(values, 6).tolist()
+    [1.0, 3.0]
+    >>> vectors.shape
+    (3, 2)
+
+    Warm-starting LOBPCG from already-converged vectors reproduces them:
+
+    >>> from repro.graphs.generators import grid_2d
+    >>> grid = grid_2d(5, 5)
+    >>> exact, exact_vectors = laplacian_eigenpairs(grid, 2, method="dense")
+    >>> warm, _ = laplacian_eigenpairs(
+    ...     grid, 2, method="lobpcg", initial_vectors=exact_vectors, maxiter=10
+    ... )
+    >>> bool(np.allclose(warm, exact, atol=1e-6))
+    True
     """
     lap = _as_laplacian(graph_or_laplacian).tocsr()
     n = lap.shape[0]
@@ -158,14 +243,14 @@ def laplacian_eigenpairs(
     if method == "dense":
         values, vectors = _dense_eigenpairs(lap, n_wanted)
     elif method == "shift-invert":
-        values, vectors = _shift_invert_eigenpairs(lap, n_wanted, tol, seed)
+        values, vectors = _shift_invert_eigenpairs(lap, n_wanted, tol, seed, initial_vectors)
     elif method == "lobpcg":
         if drop_trivial:
             # LOBPCG deflates the constant vector explicitly, so it already
             # returns nontrivial pairs; request exactly k of them.
-            values, vectors = _lobpcg_eigenpairs(lap, k, tol, seed, initial)
+            values, vectors = _lobpcg_eigenpairs(lap, k, tol, seed, initial_vectors, maxiter)
             return values[:k], vectors[:, :k]
-        values, vectors = _lobpcg_eigenpairs(lap, n_wanted, tol, seed, initial)
+        values, vectors = _lobpcg_eigenpairs(lap, n_wanted, tol, seed, initial_vectors, maxiter)
     else:
         raise ValueError(f"unknown method {method!r}")
 

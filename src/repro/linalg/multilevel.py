@@ -48,6 +48,17 @@ class MultilevelEigensolver:
         projection per level (cheapest, least accurate).
     seed:
         Seed for the coarsening order.
+
+    Examples
+    --------
+    >>> from repro.graphs.generators import grid_2d
+    >>> from repro.linalg import MultilevelEigensolver
+    >>> graph = grid_2d(12, 12)
+    >>> result = MultilevelEigensolver(coarse_size=32, seed=0).solve(graph, 2)
+    >>> result.eigenvalues.shape, result.eigenvectors.shape
+    ((2,), (144, 2))
+    >>> result.level_sizes[0], bool((result.eigenvalues > 0).all())
+    (144, True)
     """
 
     def __init__(

@@ -25,7 +25,16 @@ __all__ = ["jacobi_preconditioner", "spanning_tree_preconditioner"]
 
 
 def jacobi_preconditioner(matrix: sp.spmatrix | np.ndarray) -> Callable[[np.ndarray], np.ndarray]:
-    """Return a callable applying ``diag(A)^{-1}`` (zeros left untouched)."""
+    """Return a callable applying ``diag(A)^{-1}`` (zeros left untouched).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.linalg import jacobi_preconditioner
+    >>> apply = jacobi_preconditioner(np.diag([2.0, 4.0]))
+    >>> apply(np.array([2.0, 4.0])).tolist()
+    [1.0, 1.0]
+    """
     mat = sp.csr_matrix(matrix)
     diag = mat.diagonal().astype(np.float64)
     inv_diag = np.where(diag > 0, 1.0 / np.maximum(diag, 1e-300), 0.0)
@@ -55,6 +64,19 @@ def spanning_tree_preconditioner(
         the graph in the support-theory sense).
     ground_node:
         Node grounded when factorising the tree Laplacian.
+
+    Examples
+    --------
+    On a tree the preconditioner *is* the exact pseudo-inverse:
+
+    >>> import numpy as np
+    >>> from repro.graphs.graph import WeightedGraph
+    >>> from repro.linalg import spanning_tree_preconditioner
+    >>> tree = WeightedGraph(3, [0, 1], [1, 2])
+    >>> apply = spanning_tree_preconditioner(tree)
+    >>> v = np.array([1.0, 0.0, -1.0])
+    >>> bool(np.allclose(tree.laplacian() @ apply(v), v))
+    True
     """
     from repro.knn.mst import maximum_spanning_tree
 

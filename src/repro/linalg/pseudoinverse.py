@@ -37,6 +37,16 @@ def laplacian_pseudoinverse(laplacian: sp.spmatrix | np.ndarray) -> np.ndarray:
     Intended for validation on small graphs (the matrix is dense, O(N^2)
     memory); large-graph workflows should use :class:`LaplacianSolver` or the
     JL sketch instead.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.graphs.graph import WeightedGraph
+    >>> from repro.linalg import laplacian_pseudoinverse
+    >>> lap = WeightedGraph(3, [0, 1], [1, 2]).laplacian()
+    >>> pinv = laplacian_pseudoinverse(lap)
+    >>> bool(np.allclose(lap @ pinv @ lap.toarray(), lap.toarray()))
+    True
     """
     dense = np.asarray(
         laplacian.todense() if sp.issparse(laplacian) else laplacian, dtype=np.float64
@@ -78,6 +88,14 @@ def effective_resistance(
     -------
     numpy.ndarray
         Length-``m`` vector of effective resistances.
+
+    Examples
+    --------
+    >>> from repro.graphs.graph import WeightedGraph
+    >>> from repro.linalg import effective_resistance
+    >>> path = WeightedGraph(3, [0, 1], [1, 2])  # two unit resistors in series
+    >>> effective_resistance(path, [(0, 2)]).round(6).tolist()
+    [2.0]
     """
     solver = _solver_for(graph_or_laplacian, solver)
     pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
@@ -100,7 +118,16 @@ def effective_resistance(
 def effective_resistance_matrix(
     graph_or_laplacian: WeightedGraph | sp.spmatrix | np.ndarray,
 ) -> np.ndarray:
-    """All-pairs effective-resistance matrix (dense, small graphs only)."""
+    """All-pairs effective-resistance matrix (dense, small graphs only).
+
+    Examples
+    --------
+    >>> from repro.graphs.graph import WeightedGraph
+    >>> from repro.linalg import effective_resistance_matrix
+    >>> path = WeightedGraph(3, [0, 1], [1, 2])
+    >>> effective_resistance_matrix(path).round(6)[0].tolist()
+    [0.0, 1.0, 2.0]
+    """
     if isinstance(graph_or_laplacian, WeightedGraph):
         laplacian = graph_or_laplacian.laplacian()
     else:
@@ -136,6 +163,19 @@ def effective_resistances_jl(
         is not given).
     n_projections:
         Explicit number of random projections ``q`` (overrides ``epsilon``).
+
+    Examples
+    --------
+    The sketch approximates the exact resistances to the requested accuracy
+    (here on a path graph whose end-to-end resistance is exactly 2):
+
+    >>> from repro.graphs.generators import grid_2d
+    >>> from repro.linalg import effective_resistance, effective_resistances_jl
+    >>> graph = grid_2d(6, 6)
+    >>> exact = effective_resistance(graph, [(0, 35)])
+    >>> approx = effective_resistances_jl(graph, pairs=[(0, 35)], seed=0)
+    >>> bool(abs(approx[0] - exact[0]) <= 0.5 * exact[0])
+    True
     """
     if pairs is None:
         pairs = graph.edges

@@ -28,13 +28,32 @@ from repro.graphs.graph import WeightedGraph
 from repro.linalg.conjugate_gradient import conjugate_gradient
 from repro.linalg.preconditioners import jacobi_preconditioner
 
-__all__ = ["LaplacianSolver"]
+__all__ = ["LaplacianSolver", "grounded_splu"]
 
 
 def _as_laplacian(graph_or_laplacian: WeightedGraph | sp.spmatrix | np.ndarray) -> sp.csr_matrix:
     if isinstance(graph_or_laplacian, WeightedGraph):
         return graph_or_laplacian.laplacian()
     return sp.csr_matrix(graph_or_laplacian)
+
+
+def grounded_splu(reduced: sp.spmatrix) -> spla.SuperLU:
+    """Sparse LU of a grounded (ground-node-eliminated) Laplacian block.
+
+    The grounded Laplacian is SPD with symmetric sparsity, so SuperLU runs
+    in symmetric mode with minimum-degree ordering on ``A + A^T`` and no
+    diagonal pivoting: markedly less fill-in (and faster factor/solve) than
+    the pivoting COLAMD default — on irregular graphs pivoting fragments
+    SuperLU's supernodes, costing up to an order of magnitude.  Shared by
+    :class:`LaplacianSolver` and the incremental embedding engine so the
+    tuning cannot drift apart.
+    """
+    return spla.splu(
+        sp.csc_matrix(reduced),
+        permc_spec="MMD_AT_PLUS_A",
+        diag_pivot_thresh=0.0,
+        options={"SymmetricMode": True},
+    )
 
 
 def _remove_mean(x: np.ndarray) -> np.ndarray:
@@ -60,6 +79,19 @@ class LaplacianSolver:
         for tests.
     cg_tol, cg_max_iter:
         Convergence controls for the ``"cg"`` backend.
+
+    Examples
+    --------
+    Effective resistance across a path of two unit resistors is 2 ohms:
+
+    >>> import numpy as np
+    >>> from repro.graphs.graph import WeightedGraph
+    >>> from repro.linalg import LaplacianSolver
+    >>> path = WeightedGraph(3, [0, 1], [1, 2])
+    >>> solver = LaplacianSolver(path)
+    >>> x = solver.solve(np.array([1.0, 0.0, -1.0]))  # inject 1 A end to end
+    >>> round(float(x[0] - x[2]), 6)
+    2.0
     """
 
     def __init__(
@@ -129,8 +161,7 @@ class LaplacianSolver:
         if self._n == 1:
             self._lu = None
             return
-        reduced = self._laplacian[keep][:, keep].tocsc()
-        self._lu = spla.splu(reduced)
+        self._lu = grounded_splu(self._laplacian[keep][:, keep])
 
     def _solve_vector(self, b: np.ndarray) -> np.ndarray:
         b = np.asarray(b, dtype=np.float64).ravel()

@@ -41,6 +41,14 @@ class MeasurementSet:
     noise_level:
         The multiplicative noise level ``zeta`` applied to the voltages
         (0 for noiseless measurements).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.measurements import MeasurementSet
+    >>> data = MeasurementSet(np.zeros((4, 10)))
+    >>> data.n_nodes, data.n_measurements, data.has_currents
+    (4, 10, False)
     """
 
     voltages: np.ndarray
@@ -139,6 +147,14 @@ def simulate_measurements(
     -------
     MeasurementSet
         Noiseless voltages ``X`` and currents ``Y``.
+
+    Examples
+    --------
+    >>> from repro import simulate_measurements
+    >>> from repro.graphs.generators import grid_2d
+    >>> data = simulate_measurements(grid_2d(5, 5), n_measurements=20, seed=0)
+    >>> data.voltages.shape, data.has_currents
+    ((25, 20), True)
     """
     if solver is None:
         solver = LaplacianSolver(graph)

@@ -1,0 +1,46 @@
+"""Documentation health checks: relative links resolve, guides exist.
+
+The doctest execution of ``docs/*.md`` code blocks is handled by pytest
+itself (``--doctest-glob=*.md`` with ``docs`` in ``testpaths``); this module
+covers what doctest cannot: link rot and accidental guide deletion.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = sorted(REPO_ROOT.glob("docs/*.md")) + [REPO_ROOT / "README.md"]
+
+_LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+
+
+def _relative_links(path: Path) -> list[str]:
+    links = []
+    for target in _LINK.findall(path.read_text()):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        links.append(target.split("#", 1)[0])
+    return links
+
+
+def test_guides_exist():
+    names = {path.name for path in REPO_ROOT.glob("docs/*.md")}
+    assert {"architecture.md", "benchmarking.md", "api.md"} <= names
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: str(p.relative_to(REPO_ROOT)))
+def test_relative_links_resolve(doc):
+    missing = [
+        target
+        for target in _relative_links(doc)
+        if target and not (doc.parent / target).exists()
+    ]
+    assert not missing, f"{doc.name} links to missing files: {missing}"
+
+
+def test_readme_links_every_guide():
+    readme = (REPO_ROOT / "README.md").read_text()
+    for guide in ("docs/architecture.md", "docs/benchmarking.md", "docs/api.md"):
+        assert guide in readme, f"README.md does not link {guide}"

@@ -56,10 +56,24 @@ def test_stage_timings_recorded(grid_recovery):
         assert name in stages, f"missing stage {name!r}"
         assert stages[name].seconds >= 0
         assert stages[name].calls >= 1
-    # The densification loop runs embedding once per iteration (incl. the
-    # final convergence check).
-    assert stages["embedding"].calls >= result.n_iterations
+    # The densification loop refreshes the embedding once per iteration
+    # (incl. the final convergence check); with the incremental engine the
+    # refreshes are split between cold ("embedding") and warm
+    # ("embedding_warm") solves.
+    embedding_calls = stages["embedding"].calls + (
+        stages["embedding_warm"].calls if "embedding_warm" in stages else 0
+    )
+    assert embedding_calls >= result.n_iterations
     assert result.timings.total_seconds > 0
+
+
+def test_engine_stats_attached(grid_recovery):
+    _, _, result = grid_recovery
+    assert result.config.embedding_engine == "incremental"
+    stats = result.engine_stats
+    assert stats is not None
+    assert stats["refreshes"] == stats["cold_solves"] + stats["warm_rayleigh_ritz"] + stats["warm_inverse"]
+    assert stats["cold_solves"] >= 1
 
 
 def test_learned_graph_is_connected(grid_recovery):
