@@ -11,6 +11,14 @@ Run the smoke suite (learner + kNN baseline) and write an artifact::
 
     python -m repro.bench run --suite smoke --out BENCH_smoke.json
 
+A/B the Step-1 search backends, with per-scenario cProfile dumps::
+
+    python -m repro.bench run --suite scaling --knn-backend jl --profile
+
+Run the opt-in paper-scale suite::
+
+    python -m repro.bench run --suite paper --out BENCH_paper.json
+
 Gate a candidate artifact against a stored baseline (exit code 1 on any
 regression beyond the thresholds)::
 
@@ -23,6 +31,7 @@ import argparse
 import dataclasses
 import sys
 import time
+from pathlib import Path
 
 from repro.bench import registry
 from repro.bench.baselines import available_baselines
@@ -82,6 +91,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="override SGLConfig.embedding_engine for every scenario "
         "(A/B the warm-started incremental spectral engine against the "
         "recompute-from-scratch path; default: scenario settings)",
+    )
+    p_run.add_argument(
+        "--knn-backend",
+        choices=("auto", "brute", "kdtree", "jl", "nsw"),
+        default=None,
+        help="override SGLConfig.knn_backend for every scenario "
+        "(A/B the Step-1 search backends: exact KD-tree, blocked-BLAS "
+        "brute force, JL-projected search; default: scenario settings)",
+    )
+    p_run.add_argument(
+        "--profile",
+        action="store_true",
+        help="additionally run each scenario once under cProfile and dump "
+        "binary stats to <artifact>_profiles/<scenario>.prof",
     )
     p_run.add_argument("--no-memory", action="store_true",
                        help="skip the tracemalloc peak-memory pass")
@@ -144,9 +167,14 @@ def _cmd_run(args) -> int:
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
+    sgl_overrides = {}
     if args.engine is not None:
+        sgl_overrides["embedding_engine"] = args.engine
+    if args.knn_backend is not None:
+        sgl_overrides["knn_backend"] = args.knn_backend
+    if sgl_overrides:
         specs = [
-            dataclasses.replace(spec, sgl={**spec.sgl, "embedding_engine": args.engine})
+            dataclasses.replace(spec, sgl={**spec.sgl, **sgl_overrides})
             for spec in specs
         ]
 
@@ -164,6 +192,10 @@ def _cmd_run(args) -> int:
 
     tag = args.tag or args.suite or "custom"
     out = args.out or f"BENCH_{tag}.json"
+    profile_dir = None
+    if args.profile:
+        out_path = Path(out)
+        profile_dir = out_path.with_name(f"{out_path.stem}_profiles")
 
     def progress(spec, records):
         sgl = records[0]
@@ -187,6 +219,7 @@ def _cmd_run(args) -> int:
         baselines=baselines,
         track_memory=not args.no_memory,
         n_quality_pairs=args.quality_pairs,
+        profile_dir=profile_dir,
         progress=progress,
     )
     elapsed = time.perf_counter() - start
@@ -203,10 +236,14 @@ def _cmd_run(args) -> int:
             "track_memory": not args.no_memory,
             "quality_pairs": args.quality_pairs,
             "embedding_engine": args.engine,
+            "knn_backend": args.knn_backend,
+            "profile": str(profile_dir) if profile_dir is not None else None,
         },
     )
     path = save_artifact(artifact, out)
     print(f"wrote {len(records)} record(s) to {path} in {elapsed:.1f}s")
+    if profile_dir is not None:
+        print(f"cProfile dumps in {profile_dir}/ (load with `python -m pstats`)")
     return 0
 
 

@@ -15,6 +15,10 @@ grouped into *suites*:
 ``scaling``
     One structured and one irregular family swept across tiers, reproducing
     the runtime-scalability axis of the paper's Fig. 11.
+``paper``
+    The paper's five structural classes at the paper's node counts
+    (10k-150k nodes; Table of Sec. III-A).  Long-running and therefore
+    opt-in: it is only executed via ``repro.bench run --suite paper``.
 
 The registry is *declarative*: a :class:`ScenarioSpec` stores only JSON-ready
 builder parameters, never live graph objects, so specs can be embedded in
@@ -100,7 +104,8 @@ class ScenarioSpec:
     family:
         Key into :data:`FAMILIES` selecting the graph builder.
     tier:
-        Scale tier label (``tiny`` / ``small`` / ``medium``; see DESIGN.md).
+        Scale tier label (``tiny`` / ``small`` / ``medium`` / ``paper``;
+        see DESIGN.md).
     params:
         Keyword arguments for the family builder (JSON-ready scalars only).
     n_measurements:
@@ -176,12 +181,14 @@ class ScenarioSpec:
 # Default registry
 # ----------------------------------------------------------------------
 #: Builder parameters per family and tier (approximate node counts:
-#: tiny ~200-350, small ~1.6k-2.5k, medium ~4k-6.5k).
+#: tiny ~200-350, small ~1.6k-2.5k, medium ~4k-6.5k, paper = the node
+#: counts of the paper's five test cases, 10k-150k).
 _TIER_PARAMS: dict[str, dict[str, dict]] = {
     "grid_2d": {
         "tiny": {"n_rows": 15},
         "small": {"n_rows": 40},
         "medium": {"n_rows": 70},
+        "paper": {"n_rows": 100},
     },
     "grid_3d": {
         "tiny": {"nx": 7, "ny": 7, "nz": 5},
@@ -192,21 +199,25 @@ _TIER_PARAMS: dict[str, dict[str, dict]] = {
         "tiny": {"n_rows": 16, "seed": 4},
         "small": {"n_rows": 40, "seed": 4},
         "medium": {"n_rows": 70, "seed": 4},
+        "paper": {"n_rows": 388, "seed": 4},
     },
     "airfoil": {
         "tiny": {"n_points": 260, "seed": 1},
         "small": {"n_points": 1500, "seed": 1},
         "medium": {"n_points": 3000, "seed": 1},
+        "paper": {"n_points": 4253, "seed": 1},
     },
     "crack": {
         "tiny": {"n_points": 260, "seed": 2},
         "small": {"n_points": 1600, "seed": 2},
         "medium": {"n_points": 4000, "seed": 2},
+        "paper": {"n_points": 10240, "seed": 2},
     },
     "fem": {
         "tiny": {"n_points": 260, "seed": 3},
         "small": {"n_points": 1600, "seed": 3},
         "medium": {"n_points": 4000, "seed": 3},
+        "paper": {"n_points": 11143, "seed": 3},
     },
     "erdos_renyi": {
         "tiny": {"n_nodes": 250, "edge_probability": 0.02, "seed": 5},
@@ -280,8 +291,11 @@ def _populate_default_registry() -> None:
                 suites.append("smoke")
             if tier == "small":
                 suites.append("full")
-            if family in ("grid_2d", "circuit"):
+            if family in ("grid_2d", "circuit") and tier != "paper":
                 suites.append("scaling")
+            if tier == "paper":
+                # Opt-in long-running suite at the paper's node counts.
+                suites.append("paper")
             register_scenario(
                 ScenarioSpec(
                     name=f"{family}/{tier}",

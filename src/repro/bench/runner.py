@@ -7,6 +7,9 @@ For each :class:`~repro.bench.registry.ScenarioSpec` the runner
 2. runs the SGL learner ``warmup + repeats`` times, recording wall-clock
    seconds per repeat and the per-stage counters the learner threads through
    its hot path (kNN, MST, embedding, sensitivity, selection, scaling);
+   the recorded stage counters come from the fastest repeat — the
+   least scheduler-contaminated measurement of a deterministic fit,
+   consistent with the fastest-repeat wall statistic the gate compares;
 3. optionally re-runs once under :mod:`tracemalloc` to record the peak
    traced allocation (kept out of the timed repeats — tracing skews time);
 4. scores the learned graph against the ground truth (density, effective-
@@ -19,9 +22,12 @@ schema and the regression gate built on top of it).
 
 from __future__ import annotations
 
+import cProfile
+import re
 import time
 import tracemalloc
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -36,7 +42,13 @@ from repro.measurements.generator import MeasurementSet
 from repro.metrics.resistance import sample_node_pairs
 from repro.metrics.smoothness import signal_smoothness
 
-__all__ = ["BenchRecord", "quality_metrics", "run_scenario", "run_suite"]
+__all__ = [
+    "BenchRecord",
+    "profile_path_for",
+    "quality_metrics",
+    "run_scenario",
+    "run_suite",
+]
 
 
 @dataclass
@@ -169,32 +181,30 @@ def _timed_sgl_runs(
     warmup: int,
     repeats: int,
 ) -> tuple[list[float], StageTimings, SGLResult]:
-    """Run the learner ``warmup + repeats`` times; time the last ``repeats``."""
+    """Run the learner ``warmup + repeats`` times; time the last ``repeats``.
+
+    The reported stage counters are those of the *fastest* repeat, matching
+    the fastest-repeat wall-time statistic the regression gate uses: the
+    learner is deterministic, so repeats only differ by scheduler
+    interference, and the fastest repeat is the least contaminated
+    measurement of each stage.
+    """
     config = spec.make_config(measurements.n_nodes)
     learner = SGLearner(config)
     for _ in range(warmup):
         learner.fit(measurements)
     wall: list[float] = []
-    stage_totals = StageTimings()
+    best_stages: StageTimings | None = None
     result: SGLResult | None = None
     for _ in range(max(repeats, 1)):
+        repeat_timings = StageTimings()
         start = time.perf_counter()
-        result = learner.fit(measurements)
+        result = learner.fit(measurements, timings=repeat_timings)
         wall.append(time.perf_counter() - start)
-        stage_totals.merge(result.timings)
-    assert result is not None
-    # Average the accumulated stage counters over the repeats so stage times
-    # stay comparable to a single repeat's wall time.
-    averaged = StageTimings.from_dict(
-        {
-            name: {
-                "seconds": stat.seconds / max(repeats, 1),
-                "calls": max(1, round(stat.calls / max(repeats, 1))),
-            }
-            for name, stat in stage_totals.stages.items()
-        }
-    )
-    return wall, averaged, result
+        if wall[-1] == min(wall):
+            best_stages = repeat_timings
+    assert result is not None and best_stages is not None
+    return wall, best_stages, result
 
 
 def _peak_memory_of(fn) -> int:
@@ -208,6 +218,35 @@ def _peak_memory_of(fn) -> int:
     return int(peak)
 
 
+def profile_path_for(profile_dir: str | Path, scenario_name: str) -> Path:
+    """The ``.prof`` dump path of one scenario inside ``profile_dir``."""
+    safe = re.sub(r"[^A-Za-z0-9_.+-]", "_", scenario_name)
+    return Path(profile_dir) / f"{safe}.prof"
+
+
+def _profile_scenario(
+    spec: ScenarioSpec, measurements: MeasurementSet, profile_dir: str | Path
+) -> Path:
+    """Run one untimed learner fit under :mod:`cProfile`; dump binary stats.
+
+    The dump lands next to the JSON artifact (``repro.bench run --profile``)
+    and loads back with :mod:`pstats`::
+
+        python -m pstats BENCH_smoke_profiles/grid_2d_tiny.prof
+    """
+    learner = SGLearner(spec.make_config(measurements.n_nodes))
+    path = profile_path_for(profile_dir, spec.name)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        learner.fit(measurements)
+    finally:
+        profiler.disable()
+    profiler.dump_stats(path)
+    return path
+
+
 def run_scenario(
     spec: ScenarioSpec,
     *,
@@ -216,12 +255,16 @@ def run_scenario(
     baselines: tuple[str, ...] | list[str] = (),
     track_memory: bool = False,
     n_quality_pairs: int = 120,
+    profile_dir: str | Path | None = None,
 ) -> list[BenchRecord]:
     """Benchmark one scenario: the SGL learner plus any requested baselines.
 
     Returns one :class:`BenchRecord` per method (skipped baselines produce a
     record with empty ``wall_seconds`` and the skip reason under
-    ``info["skipped"]``).
+    ``info["skipped"]``).  With ``profile_dir`` set, one extra untimed
+    learner fit runs under :mod:`cProfile` and its binary stats are dumped
+    to ``<profile_dir>/<scenario>.prof`` (recorded under
+    ``info["profile"]``).
     """
     setup_start = time.perf_counter()
     truth = spec.build_graph()
@@ -243,6 +286,9 @@ def run_scenario(
     if track_memory:
         learner = SGLearner(spec.make_config(measurements.n_nodes))
         peak_memory = _peak_memory_of(lambda: learner.fit(measurements))
+    profile_file = None
+    if profile_dir is not None:
+        profile_file = str(_profile_scenario(spec, measurements, profile_dir))
 
     records = [
         BenchRecord(
@@ -265,7 +311,9 @@ def run_scenario(
                 "warmup": warmup,
                 "repeats": repeats,
                 "embedding_engine": result.config.embedding_engine,
+                "knn_backend": result.config.knn_backend,
                 "engine_stats": result.engine_stats,
+                "profile": profile_file,
             },
         )
     ]
@@ -318,6 +366,7 @@ def run_suite(
     baselines: tuple[str, ...] | list[str] = (),
     track_memory: bool = False,
     n_quality_pairs: int = 120,
+    profile_dir: str | Path | None = None,
     progress=None,
 ) -> list[BenchRecord]:
     """Run a sequence of scenarios; ``progress`` is an optional callable
@@ -331,6 +380,7 @@ def run_suite(
             baselines=baselines,
             track_memory=track_memory,
             n_quality_pairs=n_quality_pairs,
+            profile_dir=profile_dir,
         )
         all_records.extend(records)
         if progress is not None:

@@ -23,6 +23,11 @@ class SGLConfig:
     ----------
     k:
         Number of nearest neighbours for the initial kNN graph (Step 1).
+    knn_backend:
+        Nearest-neighbour search backend for Step 1: ``"auto"`` (default;
+        picks from the feature shape — see
+        :func:`repro.knn.backends.select_backend`), ``"kdtree"``,
+        ``"brute"``, ``"jl"`` or ``"nsw"``.
     r:
         Number of Laplacian eigenvectors for the spectral embedding (Eq. 12);
         the embedding uses the ``r - 1`` nontrivial vectors ``u_2 .. u_r``.
@@ -76,9 +81,12 @@ class SGLConfig:
     10
     >>> config.embedding_engine
     'incremental'
+    >>> config.knn_backend
+    'auto'
     """
 
     k: int = 5
+    knn_backend: str = "auto"
     r: int = 5
     tol: float = 1e-12
     beta: float = 1e-3
@@ -106,6 +114,8 @@ class SGLConfig:
             raise ValueError("sigma_sq must be positive")
         if self.max_iterations < 0:
             raise ValueError("max_iterations must be non-negative")
+        if self.knn_backend not in {"auto", "brute", "kdtree", "jl", "nsw"}:
+            raise ValueError(f"unknown knn_backend {self.knn_backend!r}")
         if self.initial_graph not in {"mst", "knn", "random-tree"}:
             raise ValueError("initial_graph must be 'mst', 'knn' or 'random-tree'")
         if self.eigensolver not in {"auto", "dense", "shift-invert", "lobpcg", "multilevel"}:

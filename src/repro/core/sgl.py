@@ -154,7 +154,14 @@ class SGLearner:
         n_nodes = voltages.shape[0]
         k = min(config.k, n_nodes - 1)
         with timings.stage("knn"):
-            candidates = knn_graph(voltages, k, weight_scheme="sgl", ensure_connected=True)
+            candidates = knn_graph(
+                voltages,
+                k,
+                weight_scheme="sgl",
+                ensure_connected=True,
+                backend=config.knn_backend,
+                backend_options={"seed": config.seed},
+            )
         if config.initial_graph == "knn":
             return candidates, candidates.copy()
         if config.initial_graph == "mst":
@@ -222,14 +229,7 @@ class SGLearner:
         # Candidate pool: off-tree edges of the kNN graph, with the paper's
         # M / ||x_s - x_t||^2 weights precomputed once.
         with timings.stage("candidate_pool"):
-            in_graph = graph.edge_set()
-            pool_mask = np.array(
-                [
-                    (int(s), int(t)) not in in_graph
-                    for s, t in zip(candidates.rows, candidates.cols)
-                ],
-                dtype=bool,
-            )
+            pool_mask = ~graph.has_edges(candidates.edges)
             pool_edges = candidates.edges[pool_mask]
             pool_weights = candidates.weights[pool_mask].copy()
 

@@ -59,6 +59,7 @@ def default_workload(
     scale: str = "small",
     n_measurements: int = 50,
     seed: int = 0,
+    knn_backend: str | None = None,
     **config_overrides,
 ) -> ExperimentWorkload:
     """Build the default workload for one of the paper's test cases.
@@ -71,15 +72,32 @@ def default_workload(
         Generator scale (``"tiny"``, ``"small"``, ``"medium"``, ``"paper"``).
     n_measurements:
         Number of (voltage, current) measurement pairs.
+    knn_backend:
+        Step-1 search backend (``"auto"``, ``"brute"``, ``"kdtree"``,
+        ``"jl"`` or ``"nsw"``); ``None`` keeps the config default.  The
+        ``auto`` policy probes the measurement matrix's effective rank
+        (:func:`repro.knn.backends.select_backend`): the smooth mesh cases
+        stay on the KD-tree at every scale, while high-rank cases like
+        ``g2_circuit`` route through the JL-projected backend; pass an
+        explicit name to pin a backend for A/B runs.
     config_overrides:
         Extra :class:`~repro.core.SGLConfig` fields.  If ``beta`` is not
         given, it is chosen so that about 10 edges are considered per
         iteration, mirroring the paper's ``beta = 1e-3`` at 10,000 nodes.
+
+    Examples
+    --------
+    >>> from repro.experiments import default_workload
+    >>> workload = default_workload("airfoil", scale="tiny", knn_backend="brute")
+    >>> workload.config.knn_backend
+    'brute'
     """
     case = get_test_case(test_case, scale)
     graph = case.graph
     if "beta" not in config_overrides:
         config_overrides["beta"] = min(1.0, max(1e-3, 10.0 / max(graph.n_nodes, 1)))
+    if knn_backend is not None:
+        config_overrides["knn_backend"] = knn_backend
     config = SGLConfig(**config_overrides)
     return ExperimentWorkload(
         name=f"{test_case}[{scale}]",

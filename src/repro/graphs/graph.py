@@ -118,6 +118,7 @@ class WeightedGraph:
         "_adjacency",
         "_laplacian",
         "_edge_set",
+        "_edge_keys",
     )
 
     def __init__(
@@ -148,6 +149,7 @@ class WeightedGraph:
         self._adjacency: sp.csr_matrix | None = None
         self._laplacian: sp.csr_matrix | None = None
         self._edge_set: set[tuple[int, int]] | None = None
+        self._edge_keys: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -166,6 +168,33 @@ class WeightedGraph:
         if edges.ndim != 2 or edges.shape[1] != 2:
             raise ValueError("edges must be an (m, 2) array-like")
         return cls(n_nodes, edges[:, 0], edges[:, 1], weights)
+
+    @classmethod
+    def _from_canonical(
+        cls,
+        n_nodes: int,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        weights: np.ndarray,
+    ) -> "WeightedGraph":
+        """Trusted constructor skipping canonicalisation.
+
+        The caller guarantees ``rows < cols`` elementwise, ``(rows, cols)``
+        lexsorted and duplicate-free, int64 endpoints and positive float64
+        weights — e.g. the kNN construction, which already builds exactly
+        this form and would otherwise pay a second lexsort + unique inside
+        ``__init__`` on every graph.
+        """
+        graph = cls.__new__(cls)
+        graph._n_nodes = int(n_nodes)
+        graph._rows = rows
+        graph._cols = cols
+        graph._weights = weights
+        graph._adjacency = None
+        graph._laplacian = None
+        graph._edge_set = None
+        graph._edge_keys = None
+        return graph
 
     @classmethod
     def from_adjacency(cls, adjacency: sp.spmatrix | np.ndarray) -> "WeightedGraph":
@@ -313,20 +342,69 @@ class WeightedGraph:
             self._edge_set = set(zip(self._rows.tolist(), self._cols.tolist()))
         return self._edge_set
 
+    def _packed_keys(self) -> np.ndarray:
+        """Sorted ``lo * N + hi`` keys of the canonical edges (cached).
+
+        Canonical edges are lexsorted by (row, col), so the packed keys are
+        sorted and every point/bulk edge query is one binary search.
+        """
+        if self._edge_keys is None:
+            self._edge_keys = self._rows * np.int64(self._n_nodes) + self._cols
+        return self._edge_keys
+
+    def _find_edges(
+        self, lo: np.ndarray, hi: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Positions of canonical edge queries, and a found/missing mask."""
+        keys = self._packed_keys()
+        queries = lo * np.int64(self._n_nodes) + hi
+        if keys.size == 0:
+            return np.zeros(queries.shape, dtype=np.int64), np.zeros(
+                queries.shape, dtype=bool
+            )
+        idx = np.searchsorted(keys, queries)
+        idx = np.minimum(idx, keys.size - 1)
+        return idx, keys[idx] == queries
+
     def has_edge(self, s: int, t: int) -> bool:
-        """Whether the undirected edge ``(s, t)`` is present."""
-        if s == t:
+        """Whether the undirected edge ``(s, t)`` is present (binary search)."""
+        if s == t or not 0 <= s < self._n_nodes or not 0 <= t < self._n_nodes:
             return False
-        key = (min(s, t), max(s, t))
-        return key in self.edge_set()
+        _, found = self._find_edges(
+            np.array([min(s, t)], dtype=np.int64), np.array([max(s, t)], dtype=np.int64)
+        )
+        return bool(found[0])
+
+    def has_edges(self, edges: Sequence[tuple[int, int]] | np.ndarray) -> np.ndarray:
+        """Vectorised membership test for an ``(m, 2)`` array of edges.
+
+        Orientation is irrelevant; one binary search over the canonical edge
+        keys instead of one :meth:`has_edge` call per edge.
+        """
+        edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        if edges.shape[0] == 0:
+            return np.zeros(0, dtype=bool)
+        lo = np.minimum(edges[:, 0], edges[:, 1])
+        hi = np.maximum(edges[:, 0], edges[:, 1])
+        valid = (lo >= 0) & (hi < self._n_nodes) & (lo != hi)
+        _, found = self._find_edges(np.where(valid, lo, 0), np.where(valid, hi, 0))
+        return found & valid
 
     def edge_weight(self, s: int, t: int) -> float:
-        """Weight of edge ``(s, t)``; raises ``KeyError`` if absent."""
-        if not self.has_edge(s, t):
+        """Weight of edge ``(s, t)``; raises ``KeyError`` if absent.
+
+        O(log |E|) via the cached canonical-key binary search (the same one
+        backing :meth:`edge_weights`), not an O(|E|) scan.
+        """
+        if s == t or not 0 <= s < self._n_nodes or not 0 <= t < self._n_nodes:
             raise KeyError(f"edge ({s}, {t}) not in graph")
         lo, hi = min(s, t), max(s, t)
-        mask = (self._rows == lo) & (self._cols == hi)
-        return float(self._weights[mask][0])
+        idx, found = self._find_edges(
+            np.array([lo], dtype=np.int64), np.array([hi], dtype=np.int64)
+        )
+        if not found[0]:
+            raise KeyError(f"edge ({s}, {t}) not in graph")
+        return float(self._weights[idx[0]])
 
     def edge_weights(self, edges: Sequence[tuple[int, int]] | np.ndarray) -> np.ndarray:
         """Vectorised weight lookup for an ``(m, 2)`` array of edges.
@@ -343,16 +421,9 @@ class WeightedGraph:
             raise KeyError("edge endpoint out of range")
         lo = np.minimum(edges[:, 0], edges[:, 1])
         hi = np.maximum(edges[:, 0], edges[:, 1])
-        if self.n_edges == 0:
-            raise KeyError(f"edge ({int(lo[0])}, {int(hi[0])}) not in graph")
-        # Canonical edges are lexsorted by (row, col), so the packed keys are
-        # sorted and searchsorted gives each query's candidate position.
-        keys = self._rows * np.int64(self._n_nodes) + self._cols
-        queries = lo * np.int64(self._n_nodes) + hi
-        idx = np.searchsorted(keys, queries)
-        missing = (idx >= keys.size) | (keys[np.minimum(idx, keys.size - 1)] != queries)
-        if missing.any():
-            first = int(np.argmax(missing))
+        idx, found = self._find_edges(lo, hi)
+        if not found.all():
+            first = int(np.argmin(found))
             raise KeyError(f"edge ({int(lo[first])}, {int(hi[first])}) not in graph")
         return self._weights[idx].copy()
 

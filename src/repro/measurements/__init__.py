@@ -15,7 +15,7 @@ subpackage implements that full measurement pipeline:
 """
 
 from repro.measurements.generator import MeasurementSet, simulate_measurements
-from repro.measurements.jl import jl_measurements
+from repro.measurements.jl import jl_measurements, jl_project, jl_projection_matrix
 from repro.measurements.noise import add_measurement_noise
 from repro.measurements.reduction import sample_node_subset, subset_measurements
 
@@ -23,6 +23,8 @@ __all__ = [
     "MeasurementSet",
     "simulate_measurements",
     "jl_measurements",
+    "jl_project",
+    "jl_projection_matrix",
     "add_measurement_noise",
     "sample_node_subset",
     "subset_measurements",

@@ -24,7 +24,12 @@ from repro.graphs.graph import WeightedGraph
 from repro.linalg.solvers import LaplacianSolver
 from repro.measurements.generator import MeasurementSet
 
-__all__ = ["jl_measurement_count", "jl_measurements"]
+__all__ = [
+    "jl_measurement_count",
+    "jl_measurements",
+    "jl_project",
+    "jl_projection_matrix",
+]
 
 
 def jl_measurement_count(n_nodes: int, epsilon: float, *, constant: float = 24.0) -> int:
@@ -34,6 +39,58 @@ def jl_measurement_count(n_nodes: int, epsilon: float, *, constant: float = 24.0
     if epsilon <= 0 or epsilon >= 1:
         raise ValueError("epsilon must be in (0, 1)")
     return int(np.ceil(constant * np.log(n_nodes) / epsilon**2))
+
+
+def jl_projection_matrix(
+    n_dims: int, sketch_dim: int, *, seed: int | None = 0
+) -> np.ndarray:
+    """Random ``+/- 1/sqrt(sketch_dim)`` JL projection of shape ``(n_dims, sketch_dim)``.
+
+    This is the sign-matrix construction of Sec. II-D (Achlioptas-style JL):
+    right-multiplying an ``(N, n_dims)`` matrix by it preserves pairwise row
+    distances up to the JL distortion.  It is shared by the measurement
+    construction below (where rows of ``C`` sketch edge space) and by the
+    ``jl`` search backend of :mod:`repro.knn.backends` (where it compresses
+    measurement features before the candidate search).
+
+    Examples
+    --------
+    >>> from repro.measurements.jl import jl_projection_matrix
+    >>> projection = jl_projection_matrix(50, 8, seed=0)
+    >>> projection.shape
+    (50, 8)
+    >>> bool((abs(projection) == 1 / 8**0.5).all())
+    True
+    """
+    if n_dims < 1 or sketch_dim < 1:
+        raise ValueError("n_dims and sketch_dim must be at least 1")
+    rng = np.random.default_rng(seed)
+    signs = rng.choice([-1.0, 1.0], size=(sketch_dim, n_dims))
+    return signs.T / np.sqrt(sketch_dim)
+
+
+def jl_project(
+    features: np.ndarray, sketch_dim: int, *, seed: int | None = 0
+) -> np.ndarray:
+    """Sketch the rows of ``features`` down to ``sketch_dim`` dimensions.
+
+    Convenience wrapper: ``features @ jl_projection_matrix(M, sketch_dim)``.
+    Row distances are preserved up to the JL distortion, which is what lets
+    the ``jl`` kNN backend search a compressed copy of the measurement
+    matrix.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.measurements.jl import jl_project
+    >>> x = np.random.default_rng(0).standard_normal((100, 40))
+    >>> jl_project(x, 8, seed=1).shape
+    (100, 8)
+    """
+    features = np.asarray(features, dtype=np.float64)
+    if features.ndim != 2:
+        raise ValueError("features must be a 2-D (N, M) array")
+    return features @ jl_projection_matrix(features.shape[1], sketch_dim, seed=seed)
 
 
 def jl_measurements(
@@ -74,9 +131,8 @@ def jl_measurements(
     if solver is None:
         solver = LaplacianSolver(graph)
 
-    rng = np.random.default_rng(seed)
-    signs = rng.choice([-1.0, 1.0], size=(n_measurements, graph.n_edges))
-    signs /= np.sqrt(n_measurements)
+    # Rows of C sketch edge space: C = jl_projection_matrix(|E|, M)^T.
+    signs = jl_projection_matrix(graph.n_edges, n_measurements, seed=seed).T
 
     incidence = graph.incidence_matrix()          # (|E|, N) rows e_s - e_t
     sqrt_w = np.sqrt(graph.weights)               # W^{1/2} diagonal

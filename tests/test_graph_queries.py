@@ -1,0 +1,70 @@
+"""Tests for WeightedGraph edge queries (binary-search fast paths).
+
+PR 3 replaced the O(|E|) per-edge scans in ``edge_weight`` / ``has_edge``
+with the canonical-key binary search that ``edge_weights`` already used, and
+added the vectorised ``has_edges`` bulk membership test used by the SGL
+candidate-pool construction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs.graph import WeightedGraph
+
+
+@pytest.fixture()
+def triangle():
+    return WeightedGraph(4, [0, 1, 0], [1, 2, 2], [1.0, 2.0, 3.0])
+
+
+def test_has_edge_both_orientations(triangle):
+    assert triangle.has_edge(0, 1)
+    assert triangle.has_edge(1, 0)
+    assert not triangle.has_edge(1, 3)
+    assert not triangle.has_edge(2, 2)  # self loop never present
+    assert not triangle.has_edge(0, 99)  # out of range, not an error
+
+
+def test_edge_weight_lookup_and_missing(triangle):
+    assert triangle.edge_weight(2, 0) == 3.0
+    assert triangle.edge_weight(1, 2) == 2.0
+    with pytest.raises(KeyError):
+        triangle.edge_weight(1, 3)
+    with pytest.raises(KeyError):
+        triangle.edge_weight(3, 3)
+
+
+def test_has_edges_vectorised(triangle):
+    queries = np.array([[1, 0], [2, 1], [3, 1], [2, 2], [0, 2]])
+    expected = np.array([True, True, False, False, True])
+    assert np.array_equal(triangle.has_edges(queries), expected)
+    assert triangle.has_edges(np.empty((0, 2), dtype=np.int64)).shape == (0,)
+
+
+def test_point_queries_agree_with_bulk_on_random_graph():
+    rng = np.random.default_rng(0)
+    n = 60
+    rows = rng.integers(0, n, size=300)
+    cols = rng.integers(0, n, size=300)
+    keep = rows != cols
+    graph = WeightedGraph(n, rows[keep], cols[keep], rng.random(keep.sum()) + 0.1)
+    # Every stored edge is found with the stored weight, both orientations.
+    weights = graph.edge_weights(graph.edges[:, ::-1])
+    for (s, t), w in zip(graph.edges[:25], weights[:25]):
+        assert graph.has_edge(int(t), int(s))
+        assert graph.edge_weight(int(t), int(s)) == w
+    # Random non-edges are consistently rejected.
+    probes = np.column_stack(
+        [rng.integers(0, n, size=200), rng.integers(0, n, size=200)]
+    )
+    membership = graph.has_edges(probes)
+    for (s, t), present in zip(probes[:40], membership[:40]):
+        assert graph.has_edge(int(s), int(t)) == bool(present)
+
+
+def test_empty_graph_queries():
+    empty = WeightedGraph(5)
+    assert not empty.has_edge(0, 1)
+    assert not empty.has_edges([(0, 1), (2, 3)]).any()
+    with pytest.raises(KeyError):
+        empty.edge_weight(0, 1)

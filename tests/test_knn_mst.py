@@ -43,6 +43,25 @@ def test_knn_graph_respects_k_cap(features):
     assert graph.n_edges == n * (n - 1) // 2
 
 
+def test_knn_edges_trims_duplicated_points_to_k():
+    # Duplicated rows mean some nodes do not match themselves in the k+1
+    # query; the vectorised trim must still return exactly k neighbours per
+    # source, closest first.
+    rng = np.random.default_rng(3)
+    base = rng.standard_normal((30, 5))
+    features = np.vstack([base, base[:7]])  # 7 exact duplicates
+    k = 4
+    from repro.knn import knn_edges
+
+    edges, dists = knn_edges(features, k)
+    counts = np.bincount(edges[:, 0], minlength=features.shape[0])
+    assert (counts == k).all()
+    assert edges.shape[0] == features.shape[0] * k
+    # Per-source distances are ascending (trim keeps the nearest k).
+    order = np.lexsort((dists, edges[:, 0]))
+    assert np.array_equal(order, np.arange(order.size))
+
+
 def test_maximum_spanning_tree_structure(features):
     graph = knn_graph(features, 5, ensure_connected=True)
     tree = maximum_spanning_tree(graph)
