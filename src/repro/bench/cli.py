@@ -86,11 +86,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_run.add_argument(
         "--engine",
-        choices=("stateless", "incremental"),
+        choices=("stateless", "incremental", "multilevel"),
         default=None,
         help="override SGLConfig.embedding_engine for every scenario "
-        "(A/B the warm-started incremental spectral engine against the "
-        "recompute-from-scratch path; default: scenario settings)",
+        "(A/B the warm-started incremental engine and the multilevel "
+        "coarsen-solve-refine engine against the recompute-from-scratch "
+        "path; default: scenario settings)",
     )
     p_run.add_argument(
         "--knn-backend",

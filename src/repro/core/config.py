@@ -51,11 +51,23 @@ class SGLConfig:
         ``"incremental"`` (default) keeps a warm-started
         :class:`~repro.embedding.EmbeddingEngine` alive across densification
         iterations, falling back to full solves automatically whenever warm
-        residuals fail the acceptance test; ``"stateless"`` recomputes the
-        embedding from scratch every iteration (the pre-engine behaviour,
-        kept for A/B benchmarking and debugging).
+        residuals fail the acceptance test; ``"multilevel"`` runs the
+        coarsen-solve-refine :class:`~repro.embedding.MultilevelEmbeddingEngine`
+        (the paper's near-linear-time path), reusing the coarsening
+        hierarchy across iterations and re-matching only when edge churn
+        exceeds ``multilevel_churn_threshold``; ``"stateless"`` recomputes
+        the embedding from scratch every iteration (the pre-engine
+        behaviour, kept for A/B benchmarking and debugging).
     multilevel_coarse_size:
-        Coarsest-level size when ``eigensolver="multilevel"``.
+        Coarsest-level size for ``eigensolver="multilevel"`` and the
+        ``"multilevel"`` embedding engine.  The 400 default balances the
+        dense coarsest solve (sub-0.1 s at this size) against hierarchy
+        depth; small meshes measurably prefer a relatively large coarsest
+        level, and at paper scale the dense solve stays negligible.
+    multilevel_churn_threshold:
+        Fractional fine-edge-count drift above which the ``"multilevel"``
+        engine re-runs heavy-edge matching instead of reusing the stored
+        hierarchy.
     edge_scaling:
         Whether to apply Step 5 spectral edge scaling when current
         measurements are available.
@@ -94,7 +106,8 @@ class SGLConfig:
     max_iterations: int = 500
     eigensolver: str = "auto"
     embedding_engine: str = "incremental"
-    multilevel_coarse_size: int = 200
+    multilevel_coarse_size: int = 400
+    multilevel_churn_threshold: float = 0.1
     edge_scaling: bool = True
     initial_graph: str = "mst"
     track_objective: bool = False
@@ -120,8 +133,12 @@ class SGLConfig:
             raise ValueError("initial_graph must be 'mst', 'knn' or 'random-tree'")
         if self.eigensolver not in {"auto", "dense", "shift-invert", "lobpcg", "multilevel"}:
             raise ValueError(f"unknown eigensolver {self.eigensolver!r}")
-        if self.embedding_engine not in {"stateless", "incremental"}:
-            raise ValueError("embedding_engine must be 'stateless' or 'incremental'")
+        if self.embedding_engine not in {"stateless", "incremental", "multilevel"}:
+            raise ValueError(
+                "embedding_engine must be 'stateless', 'incremental' or 'multilevel'"
+            )
+        if self.multilevel_churn_threshold < 0:
+            raise ValueError("multilevel_churn_threshold must be non-negative")
         if self.objective_eigenvalues < 1:
             raise ValueError("objective_eigenvalues must be at least 1")
 

@@ -5,7 +5,10 @@ pipeline stages: kNN construction, spanning-tree extraction, spectral
 embedding, edge sensitivity ranking and edge scaling.  :class:`StageTimings`
 is the instrument the learner (and the benchmark harness in
 :mod:`repro.bench`) threads through that pipeline: a tiny accumulator of
-wall-clock seconds and call counts per named stage.
+wall-clock seconds and call counts per named stage.  The embedding stage is
+engine-dependent: the stateless path records ``embedding``, the incremental
+engine splits ``embedding`` / ``embedding_warm`` and the multilevel engine
+splits ``coarsen`` / ``refine``.
 
 The overhead is two :func:`time.perf_counter` calls per stage entry, so the
 learner records timings unconditionally; a fresh ``StageTimings`` is attached

@@ -14,8 +14,10 @@ Given voltage measurements ``X`` (and optionally the current excitations
 Step 2 is the loop's hot spot.  By default it runs through the warm-started
 incremental :class:`~repro.embedding.EmbeddingEngine`, which reuses the
 previous iteration's eigenvectors instead of re-solving the eigenproblem from
-scratch (set ``SGLConfig.embedding_engine = "stateless"`` for the old
-recompute-every-iteration behaviour).
+scratch.  ``SGLConfig.embedding_engine = "multilevel"`` switches to the
+coarsen-solve-refine :class:`~repro.embedding.MultilevelEmbeddingEngine`
+(the paper's near-linear-time path, fastest at paper scale), and
+``"stateless"`` restores the old recompute-every-iteration behaviour.
 
 The result is an ultra-sparse resistor network (density slightly above one)
 whose spectral-embedding / effective-resistance distances encode the measured
@@ -36,6 +38,7 @@ from repro.core.objective import graphical_lasso_objective
 from repro.core.scaling import spectral_edge_scaling
 from repro.core.sensitivity import edge_sensitivities
 from repro.embedding.engine import EmbeddingEngine
+from repro.embedding.multilevel_engine import MultilevelEmbeddingEngine
 from repro.embedding.spectral import spectral_embedding_matrix
 from repro.graphs.graph import WeightedGraph
 from repro.knn.knn_graph import knn_graph
@@ -75,14 +78,17 @@ class SGLResult:
     timings:
         Per-stage wall-clock counters recorded during :meth:`SGLearner.fit`
         (stages ``knn``, ``initial_tree``, ``candidate_pool``, ``embedding``,
-        ``embedding_warm``, ``sensitivity``, ``objective``,
-        ``edge_selection``, ``edge_scaling``).  ``embedding`` counts cold /
-        fallback eigensolves; ``embedding_warm`` counts warm-started engine
-        refreshes (absent with the stateless engine).
+        ``embedding_warm``, ``coarsen``, ``refine``, ``sensitivity``,
+        ``objective``, ``edge_selection``, ``edge_scaling``).  ``embedding``
+        counts cold / fallback eigensolves and ``embedding_warm``
+        warm-started refreshes (incremental engine); ``coarsen`` /
+        ``refine`` split the multilevel engine's hierarchy maintenance and
+        coarse-solve-prolongate-refine phases.
     engine_stats:
-        Refresh-outcome counters of the incremental embedding engine
-        (:meth:`repro.embedding.EngineStats.as_dict`), or ``None`` when the
-        stateless path was used.
+        Refresh-outcome counters of the stateful embedding engine
+        (:meth:`repro.embedding.EngineStats.as_dict` or
+        :meth:`repro.embedding.MultilevelEngineStats.as_dict`), or ``None``
+        when the stateless path was used.
 
     Examples
     --------
@@ -237,7 +243,7 @@ class SGLearner:
         converged = False
         batch_size = config.edges_per_iteration(n_nodes)
 
-        engine: EmbeddingEngine | None = None
+        engine: EmbeddingEngine | MultilevelEmbeddingEngine | None = None
         if config.embedding_engine == "incremental":
             engine = EmbeddingEngine(
                 config.r,
@@ -246,13 +252,24 @@ class SGLearner:
                 seed=config.seed,
                 multilevel_coarse_size=config.multilevel_coarse_size,
             )
+        elif config.embedding_engine == "multilevel":
+            engine = MultilevelEmbeddingEngine(
+                config.r,
+                sigma_sq=config.sigma_sq,
+                coarse_size=config.multilevel_coarse_size,
+                churn_threshold=config.multilevel_churn_threshold,
+                seed=config.seed,
+            )
         added_edges: np.ndarray | None = None
 
         for iteration in range(config.max_iterations):
             if pool_edges.shape[0] == 0:
                 converged = True
                 break
-            if engine is not None:
+            if isinstance(engine, MultilevelEmbeddingEngine):
+                # The engine times its own phases into "coarsen" / "refine".
+                embedding = engine.refresh(graph, added_edges, timings=timings)
+            elif engine is not None:
                 # Warm refreshes land in "embedding_warm"; cold solves and
                 # fallbacks stay in "embedding" so the stages stay comparable
                 # with the stateless path.

@@ -8,7 +8,11 @@ points compute that embedding:
   from scratch on every call;
 * :class:`EmbeddingEngine` -- stateful and warm-started, reusing the previous
   call's eigenvectors to refresh the embedding of an incrementally densified
-  graph in a few iterations (the default inside the SGL learner's loop).
+  graph in a few iterations (the default inside the SGL learner's loop);
+* :class:`MultilevelEmbeddingEngine` -- stateful coarsen-solve-refine path
+  that reuses the coarsening hierarchy across densification iterations (the
+  near-linear-time multilevel machinery of the paper, engine mode
+  ``"multilevel"``).
 
 The same eigenvectors also drive the paper's visualisation methodology:
 spectral graph drawing (u2/u3 as 2-D node coordinates, Koren [6]) and spectral
@@ -21,6 +25,10 @@ from repro.embedding.spectral import (
     spectral_embedding_matrix,
 )
 from repro.embedding.engine import EmbeddingEngine, EngineStats
+from repro.embedding.multilevel_engine import (
+    MultilevelEmbeddingEngine,
+    MultilevelEngineStats,
+)
 from repro.embedding.drawing import spectral_layout
 from repro.embedding.kmeans import KMeansResult, kmeans
 from repro.embedding.clustering import spectral_clustering
@@ -29,6 +37,8 @@ __all__ = [
     "SpectralEmbedding",
     "EmbeddingEngine",
     "EngineStats",
+    "MultilevelEmbeddingEngine",
+    "MultilevelEngineStats",
     "embedding_from_eigenpairs",
     "spectral_embedding_matrix",
     "spectral_layout",

@@ -21,7 +21,14 @@ from repro.linalg.preconditioners import (
     spanning_tree_preconditioner,
 )
 from repro.linalg.eigen import laplacian_eigenpairs
-from repro.linalg.coarsening import CoarseLevel, coarsen_graph, heavy_edge_matching
+from repro.linalg.coarsening import (
+    CoarseLevel,
+    CoarseningHierarchy,
+    coarsen_graph,
+    coarsening_hierarchy,
+    contract_graph,
+    heavy_edge_matching,
+)
 from repro.linalg.multilevel import MultilevelEigensolver
 from repro.linalg.pseudoinverse import (
     effective_resistance,
@@ -37,7 +44,10 @@ __all__ = [
     "spanning_tree_preconditioner",
     "laplacian_eigenpairs",
     "CoarseLevel",
+    "CoarseningHierarchy",
     "coarsen_graph",
+    "coarsening_hierarchy",
+    "contract_graph",
     "heavy_edge_matching",
     "MultilevelEigensolver",
     "effective_resistance",

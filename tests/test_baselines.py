@@ -1,0 +1,133 @@
+"""Tests for the baseline estimators: graphical Lasso, Kron reduction,
+spectral sparsification."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.glasso import gsp_graphical_lasso
+from repro.baselines.kron import kron_reduction
+from repro.baselines.spectral_sparsify import spectral_sparsify
+from repro.graphs.generators import grid_2d
+from repro.graphs.graph import WeightedGraph
+from repro.linalg.pseudoinverse import effective_resistance
+from repro.linalg.solvers import LaplacianSolver
+from repro.measurements import simulate_measurements
+
+
+# ----------------------------------------------------------------------
+# gsp_graphical_lasso
+# ----------------------------------------------------------------------
+def test_glasso_objective_is_monotone_and_converges():
+    truth = grid_2d(5, 5)
+    data = simulate_measurements(truth, n_measurements=60, seed=0)
+    result = gsp_graphical_lasso(data.voltages, max_iterations=40, seed=0)
+    history = result.objective_history
+    assert result.n_iterations == history.size
+    finite = history[np.isfinite(history)]
+    assert bool((np.diff(finite) >= -1e-9 * np.abs(finite[:-1])).all())
+    assert result.graph.n_nodes == truth.n_nodes
+    assert result.graph.n_edges > 0
+
+
+def test_glasso_recovers_strong_edges_of_a_path():
+    # A 4-node path: voltages from its Laplacian should put most estimated
+    # conductance on the three true edges.
+    truth = WeightedGraph(4, [0, 1, 2], [1, 2, 3], [2.0, 2.0, 2.0])
+    data = simulate_measurements(truth, n_measurements=200, seed=1)
+    result = gsp_graphical_lasso(data.voltages, max_iterations=100, seed=1)
+    learned = result.graph
+    true_weight = sum(
+        learned.edge_weight(s, t) for s, t in [(0, 1), (1, 2), (2, 3)] if learned.has_edge(s, t)
+    )
+    assert true_weight >= 0.6 * learned.total_weight
+
+
+def test_glasso_candidate_edge_restriction():
+    truth = grid_2d(4, 4)
+    data = simulate_measurements(truth, n_measurements=50, seed=0)
+    candidates = truth.edges  # restrict to the true support
+    result = gsp_graphical_lasso(data.voltages, candidate_edges=candidates, seed=0)
+    learned_set = result.graph.edge_set()
+    allowed = {(int(s), int(t)) for s, t in candidates}
+    assert learned_set <= allowed
+
+
+def test_glasso_input_validation():
+    with pytest.raises(ValueError, match="voltages"):
+        gsp_graphical_lasso(np.zeros(5))
+    with pytest.raises(ValueError, match="few hundred"):
+        gsp_graphical_lasso(np.zeros((601, 3)))
+
+
+# ----------------------------------------------------------------------
+# kron_reduction
+# ----------------------------------------------------------------------
+def test_kron_reduction_preserves_effective_resistance():
+    truth = grid_2d(5, 5)
+    keep = np.array([0, 4, 12, 20, 24])
+    reduced = kron_reduction(truth, keep)
+    assert reduced.n_nodes == keep.size
+    pairs_full = np.array([[0, 4], [0, 24], [12, 20]])
+    pairs_reduced = np.array([[0, 1], [0, 4], [2, 3]])
+    r_full = effective_resistance(truth, pairs_full, solver=LaplacianSolver(truth))
+    r_reduced = effective_resistance(
+        reduced, pairs_reduced, solver=LaplacianSolver(reduced)
+    )
+    np.testing.assert_allclose(r_reduced, r_full, rtol=1e-8)
+
+
+def test_kron_reduction_of_a_path_is_a_series_resistor():
+    # Eliminating the middle of a 1-1 ohm series leaves a single 0.5-conductance edge.
+    path = WeightedGraph(3, [0, 1], [1, 2], [1.0, 1.0])
+    reduced = kron_reduction(path, [0, 2])
+    assert reduced.n_edges == 1
+    assert reduced.edge_weight(0, 1) == pytest.approx(0.5)
+
+
+def test_kron_reduction_validation():
+    graph = grid_2d(3, 3)
+    with pytest.raises(ValueError, match="two"):
+        kron_reduction(graph, [0])
+    with pytest.raises(ValueError, match="unique"):
+        kron_reduction(graph, [0, 0, 1])
+    with pytest.raises(ValueError, match="range"):
+        kron_reduction(graph, [0, 99])
+
+
+# ----------------------------------------------------------------------
+# spectral_sparsify
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("exact", [True, False])
+def test_sparsifier_approximates_the_spectrum(exact):
+    graph = grid_2d(8, 8)
+    sparsifier = spectral_sparsify(
+        graph, epsilon=0.4, exact_resistances=exact, seed=0
+    )
+    assert sparsifier.n_nodes == graph.n_nodes
+    assert sparsifier.n_edges <= graph.n_edges
+    # Total weight is preserved in expectation; allow a generous band.
+    assert sparsifier.total_weight == pytest.approx(graph.total_weight, rel=0.5)
+    pairs = np.array([[0, 63], [0, 7], [28, 35]])
+    r_orig = effective_resistance(graph, pairs, solver=LaplacianSolver(graph))
+    if sparsifier.is_connected():
+        r_sparse = effective_resistance(
+            sparsifier, pairs, solver=LaplacianSolver(sparsifier)
+        )
+        np.testing.assert_allclose(r_sparse, r_orig, rtol=0.75)
+
+
+def test_sparsifier_sample_budget_and_determinism():
+    graph = grid_2d(6, 6)
+    few = spectral_sparsify(graph, n_samples=10, exact_resistances=True, seed=0)
+    again = spectral_sparsify(graph, n_samples=10, exact_resistances=True, seed=0)
+    assert few.n_edges <= 10
+    assert few == again  # same seed, same sparsifier
+    other = spectral_sparsify(graph, n_samples=10, exact_resistances=True, seed=1)
+    assert few != other or few.n_edges == 0
+
+
+def test_sparsifier_edge_cases():
+    empty = WeightedGraph(3)
+    assert spectral_sparsify(empty).n_edges == 0
+    with pytest.raises(ValueError, match="epsilon"):
+        spectral_sparsify(grid_2d(3, 3), epsilon=0.0)

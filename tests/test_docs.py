@@ -27,7 +27,7 @@ def _relative_links(path: Path) -> list[str]:
 
 def test_guides_exist():
     names = {path.name for path in REPO_ROOT.glob("docs/*.md")}
-    assert {"architecture.md", "benchmarking.md", "api.md"} <= names
+    assert {"architecture.md", "benchmarking.md", "api.md", "testing.md"} <= names
 
 
 @pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: str(p.relative_to(REPO_ROOT)))
@@ -42,5 +42,10 @@ def test_relative_links_resolve(doc):
 
 def test_readme_links_every_guide():
     readme = (REPO_ROOT / "README.md").read_text()
-    for guide in ("docs/architecture.md", "docs/benchmarking.md", "docs/api.md"):
+    for guide in (
+        "docs/architecture.md",
+        "docs/benchmarking.md",
+        "docs/api.md",
+        "docs/testing.md",
+    ):
         assert guide in readme, f"README.md does not link {guide}"

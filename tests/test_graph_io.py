@@ -1,0 +1,120 @@
+"""Round-trip tests for the graphs/io readers and writers."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import grid_2d
+from repro.graphs.graph import WeightedGraph
+from repro.graphs.io.edgelist import read_edgelist, write_edgelist
+from repro.graphs.io.matrix_market import (
+    read_matrix_market,
+    read_matrix_market_matrix,
+    write_matrix_market,
+)
+
+
+@pytest.fixture
+def weighted_graph():
+    return WeightedGraph(6, [0, 1, 2, 0], [1, 2, 3, 5], [1.5, 2.0, 0.25, 3.0])
+
+
+# ----------------------------------------------------------------------
+# edge list
+# ----------------------------------------------------------------------
+def test_edgelist_round_trip_via_path(tmp_path, weighted_graph):
+    path = tmp_path / "graph.edges"
+    write_edgelist(path, weighted_graph)
+    assert read_edgelist(path) == weighted_graph
+
+
+def test_edgelist_round_trip_preserves_isolated_nodes(tmp_path):
+    graph = WeightedGraph(10, [0], [1], [2.0])  # nodes 2..9 isolated
+    path = tmp_path / "isolated.edges"
+    write_edgelist(path, graph)
+    assert read_edgelist(path).n_nodes == 10
+
+
+def test_edgelist_headerless_and_weightless_files():
+    # No header (a leading two-integer line would be read as one), default
+    # weight for the two-column edge line.
+    text = "0 1 0.5\n1 2\n# trailing comment\n"
+    graph = read_edgelist(io.StringIO(text))
+    assert graph.n_nodes == 3 and graph.n_edges == 2
+    assert graph.edge_weight(0, 1) == pytest.approx(0.5)
+    assert graph.edge_weight(1, 2) == pytest.approx(1.0)  # default weight
+    assert read_edgelist(io.StringIO("")).n_nodes == 0
+
+
+def test_edgelist_file_object_round_trip(weighted_graph):
+    buffer = io.StringIO()
+    write_edgelist(buffer, weighted_graph, header=True)
+    buffer.seek(0)
+    assert read_edgelist(buffer) == weighted_graph
+
+
+# ----------------------------------------------------------------------
+# matrix market
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("representation", ["laplacian", "adjacency"])
+def test_matrix_market_round_trip(tmp_path, weighted_graph, representation):
+    # Use a connected graph so both representations are canonical.
+    graph = grid_2d(4, 4)
+    path = tmp_path / f"{representation}.mtx"
+    write_matrix_market(path, graph, representation=representation, comment="test")
+    assert read_matrix_market(path) == graph
+
+
+def test_matrix_market_matrix_reader_symmetric_pattern():
+    text = (
+        "%%MatrixMarket matrix coordinate pattern symmetric\n"
+        "% a triangle\n"
+        "3 3 3\n"
+        "2 1\n"
+        "3 1\n"
+        "3 2\n"
+    )
+    matrix = read_matrix_market_matrix(io.StringIO(text))
+    assert matrix.shape == (3, 3)
+    assert matrix.nnz == 6  # mirrored off-diagonals
+    graph = read_matrix_market(io.StringIO(text))
+    assert graph.n_edges == 3
+    assert bool((graph.weights == 1.0).all())
+
+
+def test_matrix_market_reader_rejects_malformed_input():
+    with pytest.raises(ValueError, match="MatrixMarket"):
+        read_matrix_market_matrix(io.StringIO("not a header\n1 1 0\n"))
+    with pytest.raises(ValueError, match="coordinate"):
+        read_matrix_market_matrix(
+            io.StringIO("%%MatrixMarket matrix array real general\n")
+        )
+    with pytest.raises(ValueError, match="field"):
+        read_matrix_market_matrix(
+            io.StringIO("%%MatrixMarket matrix coordinate complex general\n")
+        )
+    with pytest.raises(ValueError, match="square"):
+        read_matrix_market(
+            io.StringIO("%%MatrixMarket matrix coordinate real general\n2 3 1\n1 1 1.0\n")
+        )
+
+
+def test_matrix_market_laplacian_detection(weighted_graph):
+    # A Laplacian file (negative off-diagonals) is detected and inverted.
+    buffer = io.StringIO()
+    write_matrix_market(buffer, weighted_graph, representation="laplacian")
+    buffer.seek(0)
+    assert read_matrix_market(buffer) == weighted_graph
+
+
+def test_matrix_market_adjacency_of_disconnected_graph(tmp_path):
+    graph = WeightedGraph(5, [0, 3], [1, 4], [1.0, 2.0])
+    path = tmp_path / "disc.mtx"
+    write_matrix_market(path, graph, representation="adjacency")
+    assert read_matrix_market(path) == graph
+
+
+def test_matrix_market_rejects_unknown_representation(weighted_graph):
+    with pytest.raises(ValueError, match="representation"):
+        write_matrix_market(io.StringIO(), weighted_graph, representation="incidence")

@@ -1,0 +1,114 @@
+"""Tests for the measurement simulator, noise model and node-subset reduction."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import grid_2d
+from repro.measurements import MeasurementSet, simulate_measurements
+from repro.measurements.generator import random_current_vectors
+from repro.measurements.noise import add_measurement_noise
+from repro.measurements.reduction import sample_node_subset, subset_measurements
+
+
+# ----------------------------------------------------------------------
+# generator
+# ----------------------------------------------------------------------
+def test_random_current_vectors_are_valid_excitations():
+    currents = random_current_vectors(30, 12, seed=0)
+    assert currents.shape == (30, 12)
+    # Kirchhoff: zero net current per excitation; unit norm.
+    np.testing.assert_allclose(currents.sum(axis=0), 0.0, atol=1e-12)
+    np.testing.assert_allclose(np.linalg.norm(currents, axis=0), 1.0)
+    with pytest.raises(ValueError):
+        random_current_vectors(1, 5)
+    with pytest.raises(ValueError):
+        random_current_vectors(5, 0)
+
+
+def test_simulated_voltages_solve_the_laplacian():
+    graph = grid_2d(5, 5)
+    data = simulate_measurements(graph, n_measurements=8, seed=3)
+    residual = graph.laplacian() @ data.voltages - data.currents
+    assert float(np.abs(residual).max()) < 1e-9
+    # Mean-free voltage convention (pseudo-inverse solution).
+    np.testing.assert_allclose(data.voltages.mean(axis=0), 0.0, atol=1e-12)
+    assert data.noise_level == 0.0 and data.has_currents
+
+
+def test_simulation_is_deterministic_per_seed():
+    graph = grid_2d(4, 4)
+    a = simulate_measurements(graph, 5, seed=7)
+    b = simulate_measurements(graph, 5, seed=7)
+    c = simulate_measurements(graph, 5, seed=8)
+    np.testing.assert_array_equal(a.voltages, b.voltages)
+    assert not np.array_equal(a.voltages, c.voltages)
+
+
+def test_measurement_set_validation_and_views():
+    with pytest.raises(ValueError):
+        MeasurementSet(np.zeros(4))
+    with pytest.raises(ValueError):
+        MeasurementSet(np.zeros((4, 3)), currents=np.zeros((4, 2)))
+    data = MeasurementSet(np.arange(12.0).reshape(4, 3), np.ones((4, 3)))
+    subset = data.subset_measurements([0, 2])
+    assert subset.n_measurements == 2 and subset.has_currents
+    np.testing.assert_array_equal(subset.voltages, data.voltages[:, [0, 2]])
+    replaced = data.with_voltages(np.zeros((4, 3)))
+    assert replaced.voltages.sum() == 0.0 and replaced.has_currents
+
+
+# ----------------------------------------------------------------------
+# noise
+# ----------------------------------------------------------------------
+def test_noise_energy_matches_the_level():
+    graph = grid_2d(6, 6)
+    data = simulate_measurements(graph, n_measurements=10, seed=0)
+    noisy = add_measurement_noise(data, 0.25, seed=1)
+    assert noisy.noise_level == 0.25
+    np.testing.assert_array_equal(noisy.currents, data.currents)
+    per_column_noise = np.linalg.norm(noisy.voltages - data.voltages, axis=0)
+    per_column_signal = np.linalg.norm(data.voltages, axis=0)
+    np.testing.assert_allclose(per_column_noise, 0.25 * per_column_signal, rtol=1e-9)
+
+
+def test_zero_noise_is_identity_and_negative_rejected():
+    data = MeasurementSet(np.ones((4, 2)))
+    assert add_measurement_noise(data, 0.0) is data
+    with pytest.raises(ValueError):
+        add_measurement_noise(data, -0.1)
+
+
+def test_noise_on_bare_arrays_and_vectors():
+    matrix = np.random.default_rng(0).standard_normal((8, 3))
+    noisy = add_measurement_noise(matrix, 0.1, seed=2)
+    assert noisy.shape == matrix.shape
+    vector = matrix[:, 0]
+    noisy_vector = add_measurement_noise(vector, 0.1, seed=2)
+    assert noisy_vector.shape == vector.shape
+    assert np.linalg.norm(noisy_vector - vector) == pytest.approx(
+        0.1 * np.linalg.norm(vector)
+    )
+
+
+# ----------------------------------------------------------------------
+# reduction
+# ----------------------------------------------------------------------
+def test_sample_node_subset_properties():
+    nodes = sample_node_subset(100, 0.2, seed=0)
+    assert nodes.size == 20
+    assert bool((np.diff(nodes) > 0).all())  # sorted, unique
+    assert nodes.min() >= 0 and nodes.max() < 100
+    assert sample_node_subset(10, 0.01, minimum=2).size == 2
+    with pytest.raises(ValueError):
+        sample_node_subset(100, 0.0)
+    with pytest.raises(ValueError):
+        sample_node_subset(1, 0.5)
+
+
+def test_subset_measurements_drops_currents_and_maps_nodes():
+    graph = grid_2d(6, 6)
+    data = simulate_measurements(graph, n_measurements=6, seed=0)
+    reduced, nodes = subset_measurements(data, 0.25, seed=4)
+    assert reduced.n_nodes == nodes.size
+    assert not reduced.has_currents
+    np.testing.assert_array_equal(reduced.voltages, data.voltages[nodes])

@@ -1,0 +1,81 @@
+"""Deterministic-seed tests for the navigable-small-world kNN index.
+
+``repro.knn.nsw`` backs the opt-in ``"nsw"`` search backend; these tests pin
+its contract: determinism per seed, scipy-compatible query shapes, usable
+recall against exact kNN on clustered data, and its error paths.
+"""
+
+import numpy as np
+import pytest
+from scipy.spatial import cKDTree
+
+from repro.knn.nsw import NSWIndex
+
+
+@pytest.fixture(scope="module")
+def point_cloud():
+    rng = np.random.default_rng(0)
+    centers = rng.uniform(-4.0, 4.0, size=(4, 3))
+    points = centers[rng.integers(0, 4, size=300)] + 0.3 * rng.standard_normal((300, 3))
+    return points
+
+
+def test_build_and_query_shapes(point_cloud):
+    index = NSWIndex(n_links=8, seed=0).build(point_cloud)
+    assert index.n_points == 300
+    distances, indices = index.query(point_cloud[:17], k=5)
+    assert distances.shape == (17, 5) and indices.shape == (17, 5)
+    assert indices.dtype == np.int64
+    # Distances are sorted ascending per row.
+    assert bool((np.diff(distances, axis=1) >= 0).all())
+
+
+def test_same_seed_gives_identical_results(point_cloud):
+    a = NSWIndex(n_links=6, seed=42).build(point_cloud)
+    b = NSWIndex(n_links=6, seed=42).build(point_cloud)
+    da, ia = a.query(point_cloud, k=4)
+    db, ib = b.query(point_cloud, k=4)
+    np.testing.assert_array_equal(ia, ib)
+    np.testing.assert_array_equal(da, db)
+
+
+def test_different_seeds_build_different_graphs(point_cloud):
+    a = NSWIndex(n_links=6, seed=0).build(point_cloud)
+    b = NSWIndex(n_links=6, seed=1).build(point_cloud)
+    assert a._neighbors != b._neighbors
+
+
+def test_recall_against_exact_knn(point_cloud):
+    index = NSWIndex(n_links=10, ef_construction=48, ef_search=48, seed=0)
+    index.build(point_cloud)
+    recall = index.recall_against_exact(point_cloud, k=5)
+    assert recall >= 0.9
+
+
+def test_self_query_finds_self_first(point_cloud):
+    index = NSWIndex(n_links=10, ef_construction=48, ef_search=64, seed=0)
+    index.build(point_cloud)
+    _, indices = index.query(point_cloud[:25], k=1)
+    exact = cKDTree(point_cloud).query(point_cloud[:25], k=1)[1]
+    # At a generous beam width the greedy search finds (nearly) every point
+    # itself; the approximate index may still miss the odd cluster outlier.
+    assert (indices.ravel() == exact).mean() >= 0.9
+
+
+def test_k_is_clipped_to_index_size():
+    points = np.random.default_rng(1).standard_normal((5, 2))
+    index = NSWIndex(n_links=2, seed=0).build(points)
+    distances, indices = index.query(points, k=10)
+    assert distances.shape == (5, 5)
+    assert set(indices.ravel().tolist()) <= set(range(5))
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        NSWIndex(n_links=0)
+    with pytest.raises(ValueError):
+        NSWIndex(ef_construction=0)
+    with pytest.raises(ValueError):
+        NSWIndex().build(np.zeros(3))
+    with pytest.raises(RuntimeError):
+        NSWIndex().query(np.zeros((1, 2)), k=1)
