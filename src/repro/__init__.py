@@ -21,7 +21,7 @@ from repro.core import SGLConfig, SGLearner, SGLResult, learn_graph
 from repro.graphs import WeightedGraph
 from repro.measurements import MeasurementSet, simulate_measurements
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "SGLConfig",

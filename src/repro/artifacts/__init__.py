@@ -1,0 +1,40 @@
+"""Persistent model artifacts for learned SGL graphs.
+
+``SGLearner.fit`` results were historically learn-and-discard; this package
+gives them a binary on-disk form (one checksummed, versioned ``.npz`` per
+model — graph, spectral embedding, config, engine stats, stage timings) so a
+serving process (:mod:`repro.serve`) can answer queries against a learned
+graph long after — and far away from — the learner run that produced it.
+
+Entry points:
+
+* :func:`save_result` / ``SGLearner.fit(checkpoint_path=...)`` — persist a
+  learning run;
+* :func:`load_result` — validated load (schema version, dtypes, canonical
+  edge form, SHA-256 payload checksum) returning a :class:`ModelArtifact`;
+* :func:`artifact_checksum` — the stored identity key without a full load.
+"""
+
+from repro.artifacts.store import (
+    ARTIFACT_SCHEMA,
+    ARTIFACT_VERSION,
+    ArtifactFormatError,
+    ModelArtifact,
+    artifact_checksum,
+    load_result,
+    payload_checksum,
+    save_artifact,
+    save_result,
+)
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "ARTIFACT_VERSION",
+    "ArtifactFormatError",
+    "ModelArtifact",
+    "artifact_checksum",
+    "load_result",
+    "payload_checksum",
+    "save_artifact",
+    "save_result",
+]

@@ -15,9 +15,15 @@ A/B the Step-1 search backends, with per-scenario cProfile dumps::
 
     python -m repro.bench run --suite scaling --knn-backend jl --profile
 
-Run the opt-in paper-scale suite::
+Run the opt-in paper-scale suite (scenarios are independent, so a process
+pool is safe — records come back in scenario order either way)::
 
-    python -m repro.bench run --suite paper --out BENCH_paper.json
+    python -m repro.bench run --suite paper --jobs 4 --out BENCH_paper.json
+
+Benchmark the serving stack (learn, persist, reload, then answer the same
+query set naive / batched / through the asyncio service)::
+
+    python -m repro.bench serve --scenario circuit/medium --queries 512
 
 Gate a candidate artifact against a stored baseline (exit code 1 on any
 regression beyond the thresholds)::
@@ -111,6 +117,46 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip the tracemalloc peak-memory pass")
     p_run.add_argument("--quality-pairs", type=int, default=120,
                        help="node pairs sampled for the resistance metric")
+    p_run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run independent scenarios in an N-process pool (records come "
+        "back in scenario order with identical quality/graph fields; "
+        "co-scheduled wall timings contend for cores — prefer --jobs 1 "
+        "for timing baselines)",
+    )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="benchmark the repro.serve stack: save/load a learned artifact, "
+        "then measure batched vs naive per-pair query throughput",
+    )
+    p_serve.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="scenario(s) to learn and serve "
+        "(repeatable; default: circuit/tiny and circuit/medium)",
+    )
+    p_serve.add_argument("--queries", type=int, default=512,
+                         help="effective-resistance queries per scenario (default 512)")
+    p_serve.add_argument("--batch-size", type=int, default=64,
+                         help="pairs per grouped solve / micro-batch (default 64)")
+    p_serve.add_argument("--max-delay-ms", type=float, default=2.0,
+                         help="micro-batch deadline in ms (default 2)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="service worker threads (default 2)")
+    p_serve.add_argument("--seed", type=int, default=0,
+                         help="query-pair sampling seed (default 0)")
+    p_serve.add_argument("--artifact-dir", default=None, metavar="DIR",
+                         help="keep the learned .npz artifacts here "
+                         "(default: a temporary directory)")
+    p_serve.add_argument("--out", default=None, metavar="PATH",
+                         help="artifact path (default: BENCH_serving.json)")
+    p_serve.add_argument("--tag", default="serving", help="artifact tag")
 
     p_cmp = sub.add_parser(
         "compare",
@@ -210,7 +256,7 @@ def _cmd_run(args) -> int:
     print(
         f"running {len(specs)} scenario(s) "
         f"(repeats={args.repeats}, warmup={args.warmup}, "
-        f"baselines={list(baselines) or 'none'})"
+        f"baselines={list(baselines) or 'none'}, jobs={args.jobs})"
     )
     start = time.perf_counter()
     records = run_suite(
@@ -221,6 +267,7 @@ def _cmd_run(args) -> int:
         track_memory=not args.no_memory,
         n_quality_pairs=args.quality_pairs,
         profile_dir=profile_dir,
+        jobs=args.jobs,
         progress=progress,
     )
     elapsed = time.perf_counter() - start
@@ -248,6 +295,66 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.bench.serving import run_serve_bench
+
+    scenarios = args.scenario or ["circuit/tiny", "circuit/medium"]
+    try:
+        for name in scenarios:
+            registry.get_scenario(name)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    def progress(name, records):
+        by_method = {record.method: record for record in records}
+        naive = by_method["serve_naive"]
+        batched = by_method["serve_batched"]
+        service = by_method["serve_service"]
+        print(
+            f"  {name:28s} N={naive.n_nodes:6d}  "
+            f"naive {naive.quality['qps']:8.1f} q/s  "
+            f"batched {batched.quality['qps']:8.1f} q/s "
+            f"({batched.info['speedup_vs_naive']:.1f}x)  "
+            f"service {service.quality['qps']:8.1f} q/s "
+            f"p99={service.quality['p99_ms']:.2f}ms"
+        )
+
+    print(
+        f"serve bench: {len(scenarios)} scenario(s), "
+        f"{args.queries} queries, batch={args.batch_size}, "
+        f"deadline={args.max_delay_ms}ms, workers={args.workers}"
+    )
+    start = time.perf_counter()
+    records = run_serve_bench(
+        scenarios,
+        n_queries=args.queries,
+        batch_size=args.batch_size,
+        max_delay_ms=args.max_delay_ms,
+        workers=args.workers,
+        seed=args.seed,
+        artifact_dir=args.artifact_dir,
+        progress=progress,
+    )
+    elapsed = time.perf_counter() - start
+    out = args.out or "BENCH_serving.json"
+    artifact = make_artifact(
+        args.tag,
+        records,
+        run_config={
+            "scenarios": scenarios,
+            "queries": args.queries,
+            "batch_size": args.batch_size,
+            "max_delay_ms": args.max_delay_ms,
+            "workers": args.workers,
+            "seed": args.seed,
+        },
+    )
+    path = save_artifact(artifact, out)
+    print(f"wrote {len(records)} record(s) to {path} in {elapsed:.1f}s")
+    return 0
+
+
 def _cmd_compare(args) -> int:
     try:
         baseline = load_artifact(args.baseline)
@@ -272,6 +379,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_list(args)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "compare":
         return _cmd_compare(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -36,10 +36,8 @@ from repro.bench.registry import ScenarioSpec
 from repro.core.instrumentation import StageTimings
 from repro.core.sgl import SGLearner, SGLResult
 from repro.graphs.graph import WeightedGraph
-from repro.linalg.pseudoinverse import effective_resistance
-from repro.linalg.solvers import LaplacianSolver
 from repro.measurements.generator import MeasurementSet
-from repro.metrics.resistance import sample_node_pairs
+from repro.metrics.resistance import effective_resistance_batched, sample_node_pairs
 from repro.metrics.smoothness import signal_smoothness
 
 __all__ = [
@@ -156,10 +154,10 @@ def quality_metrics(
         learned_pairs = pairs
         learned_voltages = voltages[node_map]
 
-    truth_r = effective_resistance(truth, truth_pairs, solver=LaplacianSolver(truth))
-    learned_r = effective_resistance(
-        learned, learned_pairs, solver=LaplacianSolver(learned)
-    )
+    # Grouped-RHS solves (one factorisation traversal per block) — the same
+    # fast path the serve layer and compare_effective_resistances use.
+    truth_r = effective_resistance_batched(truth, truth_pairs)
+    learned_r = effective_resistance_batched(learned, learned_pairs)
     if truth_r.size < 2 or np.std(truth_r) == 0 or np.std(learned_r) == 0:
         correlation = 1.0 if np.allclose(truth_r, learned_r) else 0.0
     else:
@@ -367,22 +365,54 @@ def run_suite(
     track_memory: bool = False,
     n_quality_pairs: int = 120,
     profile_dir: str | Path | None = None,
+    jobs: int = 1,
     progress=None,
 ) -> list[BenchRecord]:
     """Run a sequence of scenarios; ``progress`` is an optional callable
-    invoked as ``progress(spec, records)`` after each scenario finishes."""
-    all_records: list[BenchRecord] = []
-    for spec in specs:
-        records = run_scenario(
-            spec,
-            warmup=warmup,
-            repeats=repeats,
-            baselines=baselines,
-            track_memory=track_memory,
-            n_quality_pairs=n_quality_pairs,
-            profile_dir=profile_dir,
-        )
-        all_records.extend(records)
-        if progress is not None:
-            progress(spec, records)
-    return all_records
+    invoked as ``progress(spec, records)`` after each scenario finishes.
+
+    With ``jobs > 1`` independent scenarios run in a process pool
+    (scenarios never share state — every spec rebuilds its graph and
+    measurements from seeds).  The records are reassembled in spec order
+    regardless of completion order, so record ordering and every
+    deterministic field (learned graphs, quality metrics, iteration
+    counts) are identical to a serial run; only the ``progress`` callbacks
+    may fire out of order.  *Measured* fields (``wall_seconds``, peak
+    memory) are never run-reproducible, and co-scheduled scenarios contend
+    for cores — use ``jobs`` for quality sweeps and coverage runs, not for
+    publishing timing baselines.
+    """
+    specs = list(specs)
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
+    kwargs = dict(
+        warmup=warmup,
+        repeats=repeats,
+        baselines=tuple(baselines),
+        track_memory=track_memory,
+        n_quality_pairs=n_quality_pairs,
+        profile_dir=profile_dir,
+    )
+    if jobs == 1 or len(specs) <= 1:
+        all_records: list[BenchRecord] = []
+        for spec in specs:
+            records = run_scenario(spec, **kwargs)
+            all_records.extend(records)
+            if progress is not None:
+                progress(spec, records)
+        return all_records
+
+    from concurrent.futures import ProcessPoolExecutor, as_completed
+
+    ordered: list[list[BenchRecord] | None] = [None] * len(specs)
+    with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
+        futures = {
+            pool.submit(run_scenario, spec, **kwargs): idx
+            for idx, spec in enumerate(specs)
+        }
+        for future in as_completed(futures):
+            idx = futures[future]
+            ordered[idx] = future.result()
+            if progress is not None:
+                progress(specs[idx], ordered[idx])
+    return [record for records in ordered for record in records]

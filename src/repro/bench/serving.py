@@ -1,0 +1,264 @@
+"""Serve benchmark: queries/sec and latency of the serving stack.
+
+``python -m repro.bench serve`` measures the end-to-end serving story over
+one or more registry scenarios.  For each scenario it
+
+1. learns the graph (timed, reported under ``info`` — learning cost is not
+   part of serving throughput);
+2. persists the result with :func:`repro.artifacts.save_result` and loads
+   it back (exercising the validated round trip every run);
+3. answers the same ``n_queries`` effective-resistance queries three ways:
+
+   * ``serve_naive`` — one Laplacian solve per query pair
+     (:func:`repro.linalg.effective_resistance`; it still reuses the
+     session's factorisation, so the measured gap is the serving layer's
+     batched query engine, not factorisation caching);
+   * ``serve_batched`` — the session's batched engine: the exact
+     tree-plus-low-rank :class:`~repro.serve.ResistanceOracle` on
+     tree-like graphs, grouped multi-RHS solves otherwise;
+   * ``serve_service`` — the full asyncio stack: concurrent single-pair
+     requests coalesced by the micro-batcher and dispatched to the worker
+     pool (per-request p50/p99 latency comes from here).
+
+Records carry ``qps`` / ``p50_ms`` / ``p99_ms`` in ``quality`` and the
+total wall time in ``wall_seconds``, so the existing
+``python -m repro.bench compare`` regression gate applies unchanged to
+``BENCH_serving.json`` artifacts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench import registry
+from repro.bench.runner import BenchRecord
+from repro.core.sgl import SGLearner
+from repro.linalg.pseudoinverse import effective_resistance
+from repro.metrics.resistance import sample_node_pairs
+from repro.serve.batching import latency_percentiles_ms
+from repro.serve.service import GraphService
+from repro.serve.session import GraphSession
+
+__all__ = ["run_serve_bench", "serve_records_for_scenario"]
+
+
+def _record(
+    spec,
+    method: str,
+    truth_nodes: int,
+    truth_edges: int,
+    *,
+    seconds: float,
+    n_queries: int,
+    p50_ms: float,
+    p99_ms: float,
+    info: dict,
+) -> BenchRecord:
+    return BenchRecord(
+        scenario=spec.name,
+        method=method,
+        n_nodes=truth_nodes,
+        n_edges_true=truth_edges,
+        n_measurements=spec.n_measurements,
+        noise_level=spec.noise_level,
+        wall_seconds=[seconds],
+        quality={
+            "qps": n_queries / seconds if seconds > 0 else float("inf"),
+            "p50_ms": p50_ms,
+            "p99_ms": p99_ms,
+        },
+        info=info,
+    )
+
+
+def serve_records_for_scenario(
+    scenario: str,
+    *,
+    n_queries: int = 512,
+    batch_size: int = 64,
+    max_delay_ms: float = 2.0,
+    workers: int = 2,
+    seed: int = 0,
+    artifact_dir: str | Path | None = None,
+) -> list[BenchRecord]:
+    """Benchmark serving one scenario; returns naive/batched/service records.
+
+    The learned artifact is written under ``artifact_dir`` as
+    ``<scenario>.npz`` and left in place when an explicit directory was
+    given; without one it goes to a temporary directory that is removed
+    when the benchmark finishes (``info["artifact"]`` then names a path
+    that no longer exists).
+    """
+    spec = registry.get_scenario(scenario)
+    truth = spec.build_graph()
+    measurements = spec.build_measurements(truth)
+
+    cleanup_dir: tempfile.TemporaryDirectory | None = None
+    if artifact_dir is None:
+        cleanup_dir = tempfile.TemporaryDirectory(prefix="repro-serve-bench-")
+        artifact_dir = cleanup_dir.name
+    artifact_path = Path(artifact_dir) / (spec.name.replace("/", "_") + ".npz")
+    try:
+        return _serve_records(
+            spec, truth, measurements, artifact_path,
+            n_queries=n_queries, batch_size=batch_size,
+            max_delay_ms=max_delay_ms, workers=workers, seed=seed,
+        )
+    finally:
+        if cleanup_dir is not None:
+            cleanup_dir.cleanup()
+
+
+def _serve_records(
+    spec,
+    truth,
+    measurements,
+    artifact_path: Path,
+    *,
+    n_queries: int,
+    batch_size: int,
+    max_delay_ms: float,
+    workers: int,
+    seed: int,
+) -> list[BenchRecord]:
+
+    learn_start = time.perf_counter()
+    result = SGLearner(spec.make_config(measurements.n_nodes)).fit(
+        measurements, checkpoint_path=artifact_path
+    )
+    learn_seconds = time.perf_counter() - learn_start
+
+    session = GraphSession.from_file(
+        artifact_path, resistance_block=batch_size, seed=seed
+    )
+    pairs = sample_node_pairs(session.n_nodes, n_queries, seed=seed)
+    base_info = {
+        "learn_seconds": learn_seconds,
+        "artifact": str(artifact_path),
+        "checksum": session.checksum,
+        "learned_edges": result.graph.n_edges,
+        "n_queries": n_queries,
+        "batch_size": batch_size,
+        "resistance_engine": session.resistance_engine,
+    }
+
+    # --- naive: one solve per pair (per-query latency = its own solve) ----
+    naive_values = np.empty(n_queries)
+    naive_latencies = []
+    naive_start = time.perf_counter()
+    for idx, pair in enumerate(pairs):
+        t0 = time.perf_counter()
+        naive_values[idx] = effective_resistance(
+            session.graph, pair[None, :], solver=session.solver
+        )[0]
+        naive_latencies.append(time.perf_counter() - t0)
+    naive_seconds = time.perf_counter() - naive_start
+    p50, p99 = latency_percentiles_ms(naive_latencies)
+    records = [
+        _record(
+            spec, "serve_naive", truth.n_nodes, truth.n_edges,
+            seconds=naive_seconds, n_queries=n_queries,
+            p50_ms=p50, p99_ms=p99, info=dict(base_info),
+        )
+    ]
+
+    # --- batched: grouped-RHS session fast path ---------------------------
+    batched_values = np.empty(n_queries)
+    batch_latencies = []
+    batched_start = time.perf_counter()
+    for start in range(0, n_queries, batch_size):
+        t0 = time.perf_counter()
+        chunk = pairs[start:start + batch_size]
+        batched_values[start:start + batch_size] = session.effective_resistance(chunk)
+        dt = time.perf_counter() - t0
+        batch_latencies.extend([dt] * chunk.shape[0])  # all pairs wait for the block
+    batched_seconds = time.perf_counter() - batched_start
+    if not np.allclose(batched_values, naive_values, rtol=1e-7, atol=1e-10):
+        raise RuntimeError("batched resistances diverged from the naive solves")
+    p50, p99 = latency_percentiles_ms(batch_latencies)
+    speedup = naive_seconds / batched_seconds if batched_seconds > 0 else float("inf")
+    records.append(
+        _record(
+            spec, "serve_batched", truth.n_nodes, truth.n_edges,
+            seconds=batched_seconds, n_queries=n_queries,
+            p50_ms=p50, p99_ms=p99,
+            info={**base_info, "speedup_vs_naive": speedup},
+        )
+    )
+    records[-1].quality["speedup_vs_naive"] = speedup
+
+    # --- service: asyncio micro-batching end to end -----------------------
+    service = GraphService(
+        max_batch_size=batch_size,
+        max_delay_s=max_delay_ms / 1e3,
+        max_workers=workers,
+        session_options={"resistance_block": batch_size, "seed": seed},
+    )
+    service.warm(artifact_path)
+
+    async def run_service():
+        start = time.perf_counter()
+        values = await asyncio.gather(
+            *(
+                service.query(artifact_path, "resistance", tuple(pair))
+                for pair in pairs
+            )
+        )
+        await service.drain()
+        return values, time.perf_counter() - start
+
+    service_values, service_seconds = asyncio.run(run_service())
+    if not np.allclose(service_values, naive_values, rtol=1e-7, atol=1e-10):
+        raise RuntimeError("service resistances diverged from the naive solves")
+    batching = service.stats()["batching"]
+    service.close()
+    records.append(
+        _record(
+            spec, "serve_service", truth.n_nodes, truth.n_edges,
+            seconds=service_seconds, n_queries=n_queries,
+            p50_ms=batching.get("p50_ms", 0.0), p99_ms=batching.get("p99_ms", 0.0),
+            info={
+                **base_info,
+                "speedup_vs_naive": naive_seconds / service_seconds
+                if service_seconds > 0
+                else float("inf"),
+                "n_batches": batching["n_batches"],
+                "mean_batch_size": batching["mean_batch_size"],
+            },
+        )
+    )
+    return records
+
+
+def run_serve_bench(
+    scenarios: list[str],
+    *,
+    n_queries: int = 512,
+    batch_size: int = 64,
+    max_delay_ms: float = 2.0,
+    workers: int = 2,
+    seed: int = 0,
+    artifact_dir: str | Path | None = None,
+    progress=None,
+) -> list[BenchRecord]:
+    """Run the serve benchmark over several scenarios (see module docs)."""
+    all_records: list[BenchRecord] = []
+    for name in scenarios:
+        records = serve_records_for_scenario(
+            name,
+            n_queries=n_queries,
+            batch_size=batch_size,
+            max_delay_ms=max_delay_ms,
+            workers=workers,
+            seed=seed,
+            artifact_dir=artifact_dir,
+        )
+        all_records.extend(records)
+        if progress is not None:
+            progress(name, records)
+    return all_records

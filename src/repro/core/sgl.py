@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -194,6 +195,7 @@ class SGLearner:
         currents: np.ndarray | None = None,
         *,
         timings: StageTimings | None = None,
+        checkpoint_path: str | Path | None = None,
     ) -> SGLResult:
         """Learn a resistor network from measurements.
 
@@ -210,6 +212,11 @@ class SGLearner:
             accumulate stage timings into (e.g. across benchmark repeats); a
             fresh one is created otherwise.  Either way it is attached to the
             result as ``result.timings``.
+        checkpoint_path:
+            When given, the finished result is persisted as a model artifact
+            (:func:`repro.artifacts.save_result`, embedding included) at
+            this path, ready for :mod:`repro.serve`.  The ``checkpoint``
+            stage in the timings records what the save cost.
 
         Returns
         -------
@@ -353,7 +360,7 @@ class SGLearner:
             with timings.stage("edge_scaling"):
                 graph, scaling_factor = spectral_edge_scaling(graph, voltages, currents)
 
-        return SGLResult(
+        result = SGLResult(
             graph=graph,
             unscaled_graph=unscaled,
             initial_graph=initial_graph,
@@ -365,6 +372,13 @@ class SGLearner:
             timings=timings,
             engine_stats=engine.stats.as_dict() if engine is not None else None,
         )
+        if checkpoint_path is not None:
+            # Local import: repro.artifacts depends on this module's types.
+            from repro.artifacts.store import save_result
+
+            with timings.stage("checkpoint"):
+                save_result(result, checkpoint_path)
+        return result
 
 
 def learn_graph(

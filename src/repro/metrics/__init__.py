@@ -17,6 +17,7 @@ from repro.metrics.spectral import (
 from repro.metrics.resistance import (
     ResistanceComparison,
     compare_effective_resistances,
+    effective_resistance_batched,
     resistance_correlation,
 )
 from repro.metrics.density import density_ratio, graph_density, sparsification_summary
@@ -29,6 +30,7 @@ __all__ = [
     "relative_eigenvalue_error",
     "ResistanceComparison",
     "compare_effective_resistances",
+    "effective_resistance_batched",
     "resistance_correlation",
     "graph_density",
     "density_ratio",

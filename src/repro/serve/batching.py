@@ -1,0 +1,230 @@
+"""Asyncio micro-batching: coalesce concurrent requests into grouped calls.
+
+Serving effective-resistance queries one pair at a time wastes the dominant
+cost structure of the backend — a multi-RHS Laplacian solve amortises its
+factorisation traversal over the whole right-hand-side block, so ``B``
+queries solved together cost far less than ``B`` queries solved alone.  The
+:class:`MicroBatcher` implements the standard inference-serving answer:
+requests arriving concurrently on the event loop are appended to a pending
+bucket per batch key; the first request arms a deadline timer
+(``max_delay_s``); the bucket is flushed to a worker pool either when it
+reaches ``max_batch_size`` or when the deadline fires, whichever comes
+first.  Callers just ``await submit(...)`` single requests and receive
+their individual results — the batching is invisible except in throughput.
+
+The handler runs in an executor (default: a thread pool — the batched
+numpy/BLAS/SuperLU work releases the GIL), keeping the event loop free to
+keep accepting and coalescing requests while a batch computes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import Executor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Sequence
+
+__all__ = ["BatchStats", "MicroBatcher", "latency_percentiles_ms"]
+
+
+def latency_percentiles_ms(latencies: Sequence[float]) -> tuple[float, float]:
+    """Nearest-rank p50/p99 of a latency sample, in milliseconds.
+
+    Nearest-rank: the p-th percentile is the ``ceil(p * n)``-th smallest
+    sample (1-indexed), so p99 of 100 samples is the 99th value — the
+    second largest — not the maximum.  Shared by the batcher stats and the
+    serve benchmark so the two can never disagree on the definition.
+
+    Examples
+    --------
+    >>> from repro.serve.batching import latency_percentiles_ms
+    >>> latency_percentiles_ms([i / 1000 for i in range(1, 101)])
+    (50.0, 99.0)
+    """
+    if not latencies:
+        raise ValueError("need at least one latency sample")
+    ordered = sorted(latencies)
+    n = len(ordered)
+    p50 = ordered[max(0, -(-50 * n // 100) - 1)]
+    p99 = ordered[max(0, -(-99 * n // 100) - 1)]
+    return 1e3 * p50, 1e3 * p99
+
+
+@dataclass
+class BatchStats:
+    """Counters describing how requests were coalesced."""
+
+    n_requests: int = 0
+    n_batches: int = 0
+    n_full_flushes: int = 0
+    n_deadline_flushes: int = 0
+    max_batch_size: int = 0
+    batch_seconds: float = 0.0
+    #: Per-request latencies (submit -> result), seconds.  Kept bounded.
+    latencies: list[float] = field(default_factory=list)
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average coalesced batch size."""
+        return self.n_requests / self.n_batches if self.n_batches else 0.0
+
+    def record_batch(self, size: int, seconds: float, *, full: bool) -> None:
+        """Account one flushed batch."""
+        self.n_requests += size
+        self.n_batches += 1
+        self.max_batch_size = max(self.max_batch_size, size)
+        self.batch_seconds += seconds
+        if full:
+            self.n_full_flushes += 1
+        else:
+            self.n_deadline_flushes += 1
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary (latency percentiles in milliseconds)."""
+        out = {
+            "n_requests": self.n_requests,
+            "n_batches": self.n_batches,
+            "n_full_flushes": self.n_full_flushes,
+            "n_deadline_flushes": self.n_deadline_flushes,
+            "mean_batch_size": self.mean_batch_size,
+            "max_batch_size": self.max_batch_size,
+            "batch_seconds": self.batch_seconds,
+        }
+        if self.latencies:
+            out["p50_ms"], out["p99_ms"] = latency_percentiles_ms(self.latencies)
+        return out
+
+
+class _Pending:
+    __slots__ = ("payloads", "futures", "submitted", "timer")
+
+    def __init__(self) -> None:
+        self.payloads: list[Any] = []
+        self.futures: list[asyncio.Future] = []
+        self.submitted: list[float] = []
+        self.timer: asyncio.TimerHandle | None = None
+
+
+class MicroBatcher:
+    """Coalesce awaited single requests into batched handler calls.
+
+    Parameters
+    ----------
+    handler:
+        ``handler(key, payloads) -> sequence`` mapping a batch key and the
+        list of coalesced payloads to one result per payload, in order.
+        Runs inside ``executor`` — it must be thread-safe for distinct
+        keys and must not touch the event loop.
+    max_batch_size:
+        Flush as soon as a bucket reaches this many requests.
+    max_delay_s:
+        Deadline: the longest a request waits for co-batching company.
+        0 still coalesces requests that arrive on the same loop tick.
+    executor:
+        Where handler batches run; ``None`` uses the loop's default
+        thread pool.
+    max_recorded_latencies:
+        Cap on the per-request latency samples kept for percentile stats.
+
+    Examples
+    --------
+    >>> import asyncio
+    >>> from repro.serve.batching import MicroBatcher
+    >>> def double(key, payloads):
+    ...     return [2 * p for p in payloads]
+    >>> async def run():
+    ...     batcher = MicroBatcher(double, max_batch_size=8, max_delay_s=0.005)
+    ...     results = await asyncio.gather(*(batcher.submit("x", i) for i in range(10)))
+    ...     return results, batcher.stats.n_batches
+    >>> results, n_batches = asyncio.run(run())
+    >>> results == [2 * i for i in range(10)] and n_batches <= 3
+    True
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[Hashable, list], Sequence],
+        *,
+        max_batch_size: int = 64,
+        max_delay_s: float = 0.002,
+        executor: Executor | None = None,
+        max_recorded_latencies: int = 100_000,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be at least 1")
+        if max_delay_s < 0:
+            raise ValueError("max_delay_s must be non-negative")
+        self._handler = handler
+        self.max_batch_size = int(max_batch_size)
+        self.max_delay_s = float(max_delay_s)
+        self._executor = executor
+        self._pending: dict[Hashable, _Pending] = {}
+        self._inflight: set[asyncio.Task] = set()
+        self._max_recorded = int(max_recorded_latencies)
+        self.stats = BatchStats()
+
+    # ------------------------------------------------------------------
+    async def submit(self, key: Hashable, payload: Any) -> Any:
+        """Enqueue one request under ``key``; await its individual result."""
+        loop = asyncio.get_running_loop()
+        bucket = self._pending.get(key)
+        if bucket is None:
+            bucket = self._pending[key] = _Pending()
+        future: asyncio.Future = loop.create_future()
+        bucket.payloads.append(payload)
+        bucket.futures.append(future)
+        bucket.submitted.append(time.perf_counter())
+        if len(bucket.payloads) >= self.max_batch_size:
+            self._flush(key, full=True)
+        elif bucket.timer is None:
+            bucket.timer = loop.call_later(
+                self.max_delay_s, self._flush, key, False
+            )
+        return await future
+
+    def _flush(self, key: Hashable, full: bool) -> None:
+        bucket = self._pending.pop(key, None)
+        if bucket is None:
+            return
+        if bucket.timer is not None:
+            bucket.timer.cancel()
+        loop = asyncio.get_running_loop()
+        task = loop.create_task(self._run_batch(key, bucket, full))
+        # Keep a reference so the task is not garbage collected mid-flight.
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    async def _run_batch(self, key: Hashable, bucket: _Pending, full: bool) -> None:
+        loop = asyncio.get_running_loop()
+        start = time.perf_counter()
+        try:
+            results = await loop.run_in_executor(
+                self._executor, self._handler, key, bucket.payloads
+            )
+            if len(results) != len(bucket.payloads):
+                raise RuntimeError(
+                    f"batch handler returned {len(results)} results "
+                    f"for {len(bucket.payloads)} payloads"
+                )
+        except Exception as exc:  # propagate to every waiter
+            for future in bucket.futures:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        finished = time.perf_counter()
+        self.stats.record_batch(
+            len(bucket.payloads), finished - start, full=full
+        )
+        if len(self.stats.latencies) < self._max_recorded:
+            self.stats.latencies.extend(finished - t for t in bucket.submitted)
+        for future, result in zip(bucket.futures, results):
+            if not future.done():
+                future.set_result(result)
+
+    async def drain(self) -> None:
+        """Flush every pending bucket and wait for all in-flight batches."""
+        for key in list(self._pending):
+            self._flush(key, full=False)
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)

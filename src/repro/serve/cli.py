@@ -1,0 +1,223 @@
+"""Command-line interface: ``repro-serve warm|query|serve``.
+
+Examples
+--------
+Load an artifact once and report what serving it would cost::
+
+    repro-serve warm --artifact model.npz
+
+One-shot in-process queries (micro-batched under the hood)::
+
+    repro-serve query --artifact model.npz --kind resistance --pairs 0:5,3:9
+    repro-serve query --artifact model.npz --kind resistance --random-pairs 200
+    repro-serve query --artifact model.npz --kind neighbors --nodes 0,1,2 --k 4
+    repro-serve query --artifact model.npz --kind labels --nodes 0,1,2 --clusters 4
+
+Run the newline-delimited JSON TCP server::
+
+    repro-serve serve --artifact model.npz --host 127.0.0.1 --port 8642
+
+and talk to it with one JSON object per line, e.g.
+``{"kind": "resistance", "artifact": "model.npz", "pairs": [[0, 5]]}``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.artifacts.store import ArtifactFormatError
+from repro.metrics.resistance import sample_node_pairs
+from repro.serve.service import GraphService, serve_forever
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-serve`` argument parser (exposed for --help tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Query serving over persisted SGL model artifacts: "
+        "batched effective-resistance, nearest-neighbour and cluster queries.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_warm = sub.add_parser("warm", help="load an artifact and print session stats")
+    p_warm.add_argument("--artifact", required=True, help="model .npz path")
+    p_warm.add_argument("--clusters", type=int, default=None,
+                        help="additionally precompute this many spectral clusters")
+
+    p_query = sub.add_parser("query", help="run a batch of queries in-process")
+    p_query.add_argument("--artifact", required=True, help="model .npz path")
+    p_query.add_argument("--kind", choices=("resistance", "neighbors", "labels"),
+                         default="resistance")
+    p_query.add_argument("--pairs", default=None,
+                         help="comma-separated s:t pairs for --kind resistance")
+    p_query.add_argument("--random-pairs", type=int, default=None, metavar="N",
+                         help="sample N random node pairs instead of --pairs")
+    p_query.add_argument("--nodes", default=None,
+                         help="comma-separated node ids for neighbors/labels")
+    p_query.add_argument("--k", type=int, default=5,
+                         help="neighbours per node (default 5)")
+    p_query.add_argument("--clusters", type=int, default=8,
+                         help="cluster count for --kind labels (default 8)")
+    p_query.add_argument("--batch-size", type=int, default=64,
+                         help="micro-batch flush size (default 64)")
+    p_query.add_argument("--max-delay-ms", type=float, default=2.0,
+                         help="micro-batch deadline in ms (default 2)")
+    p_query.add_argument("--seed", type=int, default=0,
+                         help="seed for --random-pairs")
+    p_query.add_argument("--summary", action="store_true",
+                         help="print throughput/latency summary instead of values")
+
+    p_serve = sub.add_parser("serve", help="run the JSON-lines TCP server")
+    p_serve.add_argument("--artifact", action="append", default=None,
+                         help="artifact(s) to warm at startup (repeatable)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8642)
+    p_serve.add_argument("--max-sessions", type=int, default=4,
+                         help="LRU session-cache capacity (default 4)")
+    p_serve.add_argument("--batch-size", type=int, default=64)
+    p_serve.add_argument("--max-delay-ms", type=float, default=2.0)
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="solver worker threads (default 2)")
+    return parser
+
+
+def _parse_pairs(text: str) -> np.ndarray:
+    try:
+        pairs = [tuple(int(v) for v in item.split(":")) for item in text.split(",")]
+        if any(len(pair) != 2 for pair in pairs):
+            raise ValueError
+    except ValueError:
+        raise SystemExit(f"error: --pairs must look like '0:5,3:9', got {text!r}")
+    return np.asarray(pairs, dtype=np.int64)
+
+
+def _parse_nodes(text: str) -> list[int]:
+    try:
+        return [int(v) for v in text.split(",")]
+    except ValueError:
+        raise SystemExit(f"error: --nodes must look like '0,1,2', got {text!r}")
+
+
+def _cmd_warm(args) -> int:
+    service = GraphService()
+    try:
+        session = service.warm(args.artifact)
+    except (OSError, ArtifactFormatError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.clusters:
+        session.cluster_labels(n_clusters=args.clusters)
+    stats = session.stats()
+    print(json.dumps(stats, indent=2, sort_keys=True))
+    service.close()
+    return 0
+
+
+def _cmd_query(args) -> int:
+    service = GraphService(
+        max_batch_size=args.batch_size,
+        max_delay_s=args.max_delay_ms / 1e3,
+    )
+    try:
+        session = service.warm(args.artifact)
+    except (OSError, ArtifactFormatError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.kind == "resistance":
+        if args.random_pairs is not None:
+            payloads = [
+                (int(s), int(t))
+                for s, t in sample_node_pairs(
+                    session.n_nodes, args.random_pairs, seed=args.seed
+                )
+            ]
+        elif args.pairs:
+            payloads = [(int(s), int(t)) for s, t in _parse_pairs(args.pairs)]
+        else:
+            print("error: provide --pairs or --random-pairs", file=sys.stderr)
+            return 2
+        options: dict = {}
+    else:
+        if not args.nodes:
+            print("error: provide --nodes", file=sys.stderr)
+            return 2
+        payloads = _parse_nodes(args.nodes)
+        options = (
+            {"k": args.k} if args.kind == "neighbors" else {"n_clusters": args.clusters}
+        )
+
+    async def run():
+        start = time.perf_counter()
+        results = await asyncio.gather(
+            *(
+                service.query(args.artifact, args.kind, payload, **options)
+                for payload in payloads
+            )
+        )
+        await service.drain()
+        return results, time.perf_counter() - start
+
+    results, elapsed = asyncio.run(run())
+    if args.summary:
+        batching = service.stats()["batching"]
+        summary = {
+            "kind": args.kind,
+            "n_queries": len(results),
+            "seconds": elapsed,
+            "qps": len(results) / elapsed if elapsed > 0 else float("inf"),
+            "batching": batching,
+        }
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        for payload, result in zip(payloads, results):
+            print(f"{payload}\t{result}")
+    service.close()
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    service = GraphService(
+        max_sessions=args.max_sessions,
+        max_batch_size=args.batch_size,
+        max_delay_s=args.max_delay_ms / 1e3,
+        max_workers=args.workers,
+    )
+    for path in args.artifact or ():
+        try:
+            session = service.warm(path)
+        except (OSError, ArtifactFormatError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"warmed {path}: N={session.n_nodes}, |E|={session.graph.n_edges}")
+    try:
+        asyncio.run(serve_forever(service, args.host, args.port))
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        print("shutting down")
+    finally:
+        service.close()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "warm":
+        return _cmd_warm(args)
+    if args.command == "query":
+        return _cmd_query(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

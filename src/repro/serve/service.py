@@ -1,0 +1,367 @@
+"""The query-serving front end: LRU session cache + micro-batched dispatch.
+
+:class:`GraphService` is the piece a server process holds on to.  It owns
+
+* an **LRU session cache** — artifact path -> :class:`~repro.serve.
+  GraphSession`, keyed by the artifact's payload *checksum* (the same model
+  reached through two paths shares one session), bounded by
+  ``max_sessions`` with least-recently-used eviction (evicting a session
+  drops its Laplacian factorisation and index).  The query path trusts the
+  path -> checksum mapping established at first load; a file replaced
+  on disk is picked up by the next :meth:`~GraphService.warm` call (the
+  TCP protocol exposes a ``warm`` request for exactly this);
+* one :class:`~repro.serve.MicroBatcher` — concurrent ``query()`` calls
+  against the same ``(session, kind, k/...)`` signature coalesce into one
+  batched session call, executed on a shared worker pool.
+
+Query kinds map 1:1 onto the session's batched primitives:
+
+===============  ==========================  ===============================
+kind             payload (one request)       result (one request)
+===============  ==========================  ===============================
+``resistance``   ``(s, t)`` node pair        effective resistance (float)
+``neighbors``    node id                     ``k`` nearest node ids (list)
+``labels``       node id                     spectral-cluster label (int)
+===============  ==========================  ===============================
+
+:func:`serve_forever` wraps the service in a newline-delimited-JSON TCP
+protocol (stdlib asyncio only), which is what ``repro-serve serve`` runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+
+from repro.artifacts.store import load_result
+from repro.serve.batching import MicroBatcher
+from repro.serve.session import GraphSession
+
+__all__ = ["GraphService", "serve_forever"]
+
+_KINDS = ("resistance", "neighbors", "labels")
+
+
+class GraphService:
+    """Micro-batched query service over a bounded cache of loaded models.
+
+    Parameters
+    ----------
+    max_sessions:
+        LRU capacity: how many loaded models (factorisations + indexes) are
+        kept warm at once.
+    max_batch_size, max_delay_s:
+        Coalescing knobs forwarded to the :class:`~repro.serve.MicroBatcher`
+        (flush on size, or on deadline, whichever first).
+    max_workers:
+        Worker threads executing batched session calls.
+    session_options:
+        Extra keyword arguments for every :class:`~repro.serve.GraphSession`
+        (e.g. ``knn_backend``, ``resistance_block``).
+
+    Examples
+    --------
+    >>> import asyncio, tempfile, os
+    >>> from repro import learn_graph, simulate_measurements
+    >>> from repro.artifacts import save_result
+    >>> from repro.graphs.generators import grid_2d
+    >>> from repro.serve import GraphService
+    >>> data = simulate_measurements(grid_2d(6, 6), n_measurements=30, seed=0)
+    >>> path = os.path.join(tempfile.mkdtemp(), "grid.npz")
+    >>> _ = save_result(learn_graph(data, beta=0.05), path)
+    >>> service = GraphService(max_batch_size=16, max_delay_s=0.002)
+    >>> async def run():
+    ...     pairs = [(0, 35), (1, 7), (3, 3)]
+    ...     return await asyncio.gather(
+    ...         *(service.query(path, "resistance", pair) for pair in pairs)
+    ...     )
+    >>> resistances = asyncio.run(run())
+    >>> len(resistances), float(resistances[2])
+    (3, 0.0)
+    >>> service.stats()["sessions"]["loaded"]
+    1
+    """
+
+    def __init__(
+        self,
+        *,
+        max_sessions: int = 4,
+        max_batch_size: int = 64,
+        max_delay_s: float = 0.002,
+        max_workers: int = 2,
+        session_options: dict | None = None,
+    ) -> None:
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be at least 1")
+        self._max_sessions = int(max_sessions)
+        self._sessions: OrderedDict[str, GraphSession] = OrderedDict()
+        self._path_keys: dict[str, str] = {}
+        # Guards _sessions/_path_keys/_loads/_evictions: the event loop's
+        # cache-hit path and executor-thread cold loads touch them
+        # concurrently.  Never held while loading or factorising a model.
+        self._cache_lock = threading.Lock()
+        self._session_options = dict(session_options or {})
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-serve"
+        )
+        self._batcher = MicroBatcher(
+            self._run_batch,
+            max_batch_size=max_batch_size,
+            max_delay_s=max_delay_s,
+            executor=self._executor,
+        )
+        self._evictions = 0
+        self._loads = 0
+
+    # ------------------------------------------------------------------
+    # Session cache
+    # ------------------------------------------------------------------
+    def warm(self, path: str | Path) -> GraphSession:
+        """Load an artifact into the session cache (or refresh its LRU slot).
+
+        Always re-reads (and re-validates) the file, so ``warm`` is also how
+        a replaced artifact under a known path gets picked up.  Returns the
+        (possibly pre-existing) session, so it doubles as the synchronous
+        entry point for in-process callers that want the session object.
+        """
+        path = str(Path(path))
+        artifact = load_result(path)
+        cached = self._cache_hit(artifact.checksum, remember_path=path)
+        if cached is not None:
+            return cached
+        # Build outside the lock — factorising can take seconds.  Two
+        # concurrent cold loads of the same model may both build; the
+        # loser's session is discarded below, which only wastes work.
+        session = GraphSession(artifact, **self._session_options)
+        with self._cache_lock:
+            existing = self._sessions.get(artifact.checksum)
+            if existing is not None:
+                self._sessions.move_to_end(artifact.checksum)
+                self._path_keys[path] = artifact.checksum
+                return existing
+            self._sessions[artifact.checksum] = session
+            self._path_keys[path] = artifact.checksum
+            self._loads += 1
+            while len(self._sessions) > self._max_sessions:
+                evicted_key, _ = self._sessions.popitem(last=False)
+                for p in [p for p, c in self._path_keys.items() if c == evicted_key]:
+                    del self._path_keys[p]
+                self._evictions += 1
+        return session
+
+    def _cache_hit(self, checksum: str, *, remember_path: str | None = None):
+        with self._cache_lock:
+            session = self._sessions.get(checksum)
+            if session is not None:
+                self._sessions.move_to_end(checksum)
+                if remember_path is not None:
+                    self._path_keys[remember_path] = checksum
+            return session
+
+    def session(self, path: str | Path) -> GraphSession:
+        """The cached session for ``path``, loading it on first use.
+
+        The cache hit path trusts the path -> checksum mapping established
+        by the first load; re-reading the checksum from disk on every query
+        would defeat the cache.  Call :meth:`warm` to re-validate a path
+        whose file may have been replaced.
+        """
+        with self._cache_lock:
+            key = self._path_keys.get(str(Path(path)))
+            session = self._sessions.get(key) if key is not None else None
+            if session is not None:
+                self._sessions.move_to_end(key)
+                return session
+        return self.warm(path)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    async def query(self, path: str | Path, kind: str, payload, **options):
+        """Submit one request; it is micro-batched with concurrent peers.
+
+        ``kind`` is one of ``resistance`` / ``neighbors`` / ``labels``;
+        ``options`` become part of the batch signature (``k=...`` for
+        neighbours, ``n_clusters=...`` for labels), so only requests with
+        identical options share a batch.
+        """
+        if kind not in _KINDS:
+            raise ValueError(f"unknown query kind {kind!r}; available: {_KINDS}")
+        with self._cache_lock:
+            cached = self._path_keys.get(str(Path(path)))
+            session = self._sessions.get(cached) if cached is not None else None
+            if session is not None:
+                self._sessions.move_to_end(cached)
+        if session is None:
+            # Cache miss: loading + factorising a model can take seconds on
+            # large graphs — do it on the worker pool, not the event loop.
+            loop = asyncio.get_running_loop()
+            session = await loop.run_in_executor(self._executor, self.session, path)
+        key = (session.checksum, kind, tuple(sorted(options.items())))
+        return await self._batcher.submit(key, (session, payload))
+
+    def _run_batch(self, key, payloads):
+        _, kind, options = key
+        options = dict(options)
+        session: GraphSession = payloads[0][0]
+        values = [payload for _, payload in payloads]
+        if kind == "resistance":
+            pairs = np.asarray(values, dtype=np.int64).reshape(-1, 2)
+            return session.effective_resistance(pairs).tolist()
+        if kind == "neighbors":
+            nodes = np.asarray(values, dtype=np.int64)
+            _, indices = session.nearest_neighbors(nodes, k=options.get("k", 5))
+            return [row.tolist() for row in indices]
+        nodes = np.asarray(values, dtype=np.int64)
+        labels = session.cluster_labels(
+            nodes, n_clusters=options.get("n_clusters", 8)
+        )
+        return [int(label) for label in labels]
+
+    async def drain(self) -> None:
+        """Flush pending batches and wait for in-flight work."""
+        await self._batcher.drain()
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        self._executor.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Service statistics: cache state, batching counters, per-session."""
+        with self._cache_lock:
+            sessions = dict(self._sessions)
+            loads, evictions = self._loads, self._evictions
+        return {
+            "sessions": {
+                "loaded": len(sessions),
+                "capacity": self._max_sessions,
+                "loads": loads,
+                "evictions": evictions,
+                "checksums": list(sessions),
+            },
+            "batching": self._batcher.stats.as_dict(),
+            "per_session": {
+                checksum: session.stats() for checksum, session in sessions.items()
+            },
+        }
+
+
+# ----------------------------------------------------------------------
+# Newline-delimited JSON TCP front end
+# ----------------------------------------------------------------------
+async def _handle_request(service: GraphService, request: dict) -> dict:
+    kind = request.get("kind")
+    if kind == "stats":
+        return {"ok": True, "result": service.stats()}
+    if kind != "warm" and kind not in _KINDS:
+        raise ValueError(f"unknown request kind {kind!r}")
+    path = request.get("artifact")
+    if not isinstance(path, str):
+        raise ValueError("request must carry an 'artifact' path")
+    if kind == "warm":
+        # Re-read + re-validate the file (picks up a replaced artifact);
+        # the load runs on the worker pool, off the event loop.
+        loop = asyncio.get_running_loop()
+        session = await loop.run_in_executor(service._executor, service.warm, path)
+        return {"ok": True, "result": session.stats()}
+    if kind == "resistance":
+        pairs = request.get("pairs")
+        if not isinstance(pairs, list) or not pairs:
+            raise ValueError("'resistance' requests need a non-empty 'pairs' list")
+        results = await asyncio.gather(
+            *(service.query(path, "resistance", tuple(pair)) for pair in pairs)
+        )
+        return {"ok": True, "result": list(results)}
+    if kind == "neighbors":
+        nodes = request.get("nodes")
+        if not isinstance(nodes, list) or not nodes:
+            raise ValueError("'neighbors' requests need a non-empty 'nodes' list")
+        k = int(request.get("k", 5))
+        results = await asyncio.gather(
+            *(service.query(path, "neighbors", int(node), k=k) for node in nodes)
+        )
+        return {"ok": True, "result": list(results)}
+    if kind == "labels":
+        nodes = request.get("nodes")
+        if not isinstance(nodes, list) or not nodes:
+            raise ValueError("'labels' requests need a non-empty 'nodes' list")
+        n_clusters = int(request.get("n_clusters", 8))
+        results = await asyncio.gather(
+            *(
+                service.query(path, "labels", int(node), n_clusters=n_clusters)
+                for node in nodes
+            )
+        )
+        return {"ok": True, "result": list(results)}
+    raise AssertionError(f"unhandled request kind {kind!r}")  # pragma: no cover
+
+
+async def _client_connected(
+    service: GraphService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            request: dict | None = None
+            try:
+                decoded = json.loads(line)
+                if not isinstance(decoded, dict):
+                    raise ValueError("request must be a JSON object")
+                request = decoded
+                response = await _handle_request(service, request)
+            except Exception as exc:  # protocol errors go back to the client
+                response = {"ok": False, "error": str(exc)}
+            if request is not None and "id" in request:
+                response["id"] = request["id"]
+            writer.write(json.dumps(response).encode("utf-8") + b"\n")
+            await writer.drain()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown race
+            pass
+
+
+async def serve_forever(
+    service: GraphService,
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    *,
+    ready: "asyncio.Event | None" = None,
+    bound_addresses: list | None = None,
+) -> None:
+    """Run the newline-delimited JSON TCP server until cancelled.
+
+    One request per line, one JSON response per line (``{"ok": true,
+    "result": ...}`` or ``{"ok": false, "error": "..."}``; an ``id`` field
+    is echoed back).  Every multi-item request fans out through the
+    micro-batcher, so two clients querying the same model coalesce into
+    shared solver batches.  ``ready`` (if given) is set once the socket is
+    listening, after the actually bound ``(host, port)`` tuples have been
+    appended to ``bound_addresses`` — lets tests bind port 0 and discover
+    the kernel-assigned port.
+    """
+    server = await asyncio.start_server(
+        lambda r, w: _client_connected(service, r, w), host, port
+    )
+    async with server:
+        addresses = [sock.getsockname()[:2] for sock in server.sockets]
+        if bound_addresses is not None:
+            bound_addresses.extend(addresses)
+        if ready is not None:
+            ready.set()
+        listening = ", ".join(f"{h}:{p}" for h, p in addresses)
+        print(f"repro-serve listening on {listening}")
+        await server.serve_forever()

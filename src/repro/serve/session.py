@@ -1,0 +1,272 @@
+"""A loaded model ready to answer queries: factor once, serve many.
+
+:class:`GraphSession` is the unit of serving state.  Building one from a
+:class:`~repro.artifacts.ModelArtifact` pays every per-model cost exactly
+once — the grounded SuperLU factorisation of the learned Laplacian, the
+nearest-neighbour index over the stored spectral embedding, the per-``k``
+spectral-cluster labelings — after which each query kind is a cheap batched
+operation:
+
+* **effective-resistance queries** run through the grouped-RHS fast path
+  (:func:`repro.metrics.effective_resistance_batched`): one multi-RHS
+  triangular solve per batch instead of one solve per pair;
+* **nearest-neighbour lookups** reuse :func:`repro.knn.backends.build_index`
+  over the stored embedding (squared embedding distances approximate
+  effective resistances, Eq. 13, so "nearest" means electrically closest);
+* **cluster-label queries** hit a lazily computed, cached spectral
+  clustering of the learned graph.
+
+Sessions are deliberately synchronous and thread-compatible: the asyncio
+front loop (:class:`repro.serve.GraphService`) coalesces requests into
+batches and calls into the session from a worker pool.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.artifacts.store import ModelArtifact, load_result
+from repro.embedding.clustering import spectral_clustering
+from repro.knn.backends import build_index
+from repro.linalg.solvers import LaplacianSolver
+from repro.metrics.resistance import effective_resistance_batched
+from repro.serve.resistance import ResistanceOracle
+
+__all__ = ["GraphSession"]
+
+
+class GraphSession:
+    """Precomputed query state over one loaded model artifact.
+
+    Parameters
+    ----------
+    artifact:
+        A loaded :class:`~repro.artifacts.ModelArtifact` (see
+        :meth:`from_file` to go straight from a path).
+    knn_backend:
+        Search backend for the embedding index
+        (:func:`repro.knn.backends.build_index` names; default ``"auto"``).
+    resistance_engine:
+        ``"auto"`` (default) serves resistance queries through the exact
+        tree-plus-low-rank :class:`~repro.serve.resistance.ResistanceOracle`
+        whenever the graph is tree-like enough (SGL-learned graphs always
+        are), falling back to grouped multi-RHS Laplacian solves otherwise;
+        ``"woodbury"`` forces the oracle (raises on ineligible graphs);
+        ``"grouped"`` forces the solver path.
+    resistance_block:
+        Right-hand sides per grouped Laplacian solve (fallback path).
+    seed:
+        Seed for the clustering k-means and any backend sampling.
+
+    Examples
+    --------
+    >>> import tempfile, os
+    >>> from repro import learn_graph, simulate_measurements
+    >>> from repro.artifacts import save_result
+    >>> from repro.graphs.generators import grid_2d
+    >>> from repro.serve import GraphSession
+    >>> data = simulate_measurements(grid_2d(6, 6), n_measurements=30, seed=0)
+    >>> path = os.path.join(tempfile.mkdtemp(), "grid.npz")
+    >>> _ = save_result(learn_graph(data, beta=0.05), path)
+    >>> session = GraphSession.from_file(path)
+    >>> float(session.effective_resistance([(0, 0)])[0])
+    0.0
+    >>> session.nearest_neighbors([0], k=2)[1].shape
+    (1, 2)
+    >>> session.stats()["queries"]["resistance"]
+    1
+    """
+
+    def __init__(
+        self,
+        artifact: ModelArtifact,
+        *,
+        knn_backend: str = "auto",
+        resistance_engine: str = "auto",
+        resistance_block: int = 256,
+        seed: int | None = 0,
+    ) -> None:
+        if resistance_engine not in ("auto", "woodbury", "grouped"):
+            raise ValueError(
+                "resistance_engine must be 'auto', 'woodbury' or 'grouped'"
+            )
+        self.artifact = artifact
+        self.graph = artifact.graph
+        self.checksum = artifact.checksum
+        self._knn_backend = knn_backend
+        self._resistance_block = int(resistance_block)
+        self._seed = seed
+        start = time.perf_counter()
+        self.solver = LaplacianSolver(self.graph)
+        self._oracle: ResistanceOracle | None = None
+        if resistance_engine == "woodbury" or (
+            resistance_engine == "auto" and ResistanceOracle.eligible(self.graph)
+        ):
+            self._oracle = ResistanceOracle(self.graph)
+        self.factor_seconds = time.perf_counter() - start
+        self._index = None
+        self._labels: dict[int, np.ndarray] = {}
+        self._lock = threading.Lock()
+        self._counters = {"resistance": 0, "neighbors": 0, "labels": 0}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_file(cls, path: str | Path, **options) -> "GraphSession":
+        """Load an artifact (validated) and build a session over it."""
+        return cls(load_result(path), **options)
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes of the served graph."""
+        return self.graph.n_nodes
+
+    @property
+    def has_embedding(self) -> bool:
+        """Whether embedding-backed queries (neighbours) are available."""
+        return self.artifact.embedding is not None
+
+    # ------------------------------------------------------------------
+    def _embedding_index(self):
+        if self._index is None:
+            if self.artifact.embedding is None:
+                raise ValueError(
+                    "artifact was saved without an embedding; nearest-neighbour "
+                    "queries need save_result(..., include_embedding=True)"
+                )
+            with self._lock:
+                if self._index is None:
+                    self._index = build_index(
+                        self.artifact.embedding,
+                        self._knn_backend,
+                        seed=self._seed,
+                    )
+        return self._index
+
+    @property
+    def resistance_engine(self) -> str:
+        """The active resistance engine (``"woodbury"`` or ``"grouped"``)."""
+        return "woodbury" if self._oracle is not None else "grouped"
+
+    def effective_resistance(self, pairs: np.ndarray) -> np.ndarray:
+        """Batched exact effective resistances ``R_eff(s, t)``.
+
+        Through the tree-plus-low-rank oracle when active (no Laplacian
+        solves at query time), otherwise one grouped multi-RHS solve per
+        ``resistance_block`` pairs, reusing the session's factorisation.
+        """
+        pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        if self._oracle is not None:
+            out = self._oracle.query(pairs)
+        else:
+            out = effective_resistance_batched(
+                self.graph,
+                pairs,
+                solver=self.solver,
+                block_size=self._resistance_block,
+            )
+        with self._lock:
+            self._counters["resistance"] += pairs.shape[0]
+        return out
+
+    def nearest_nodes(
+        self, vectors: np.ndarray, k: int = 5
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``k`` embedding-space nearest stored nodes of free query vectors.
+
+        ``vectors`` is ``(q, r-1)`` in the stored embedding's coordinate
+        system; returns ``(distances, node_ids)`` of shape ``(q, k)``.
+        """
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        distances, indices = self._embedding_index().query(vectors, k)
+        with self._lock:
+            self._counters["neighbors"] += vectors.shape[0]
+        return distances, indices
+
+    def nearest_neighbors(
+        self, nodes: np.ndarray, k: int = 5
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``k`` electrically-nearest *other* nodes of each given node.
+
+        Queries the embedding index with the nodes' own embedding rows and
+        drops each node from its own result row.  Returns
+        ``(distances, node_ids)`` of shape ``(len(nodes), k)``.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64).ravel()
+        if nodes.size and (nodes.min() < 0 or nodes.max() >= self.n_nodes):
+            raise ValueError(f"node id out of range for {self.n_nodes} nodes")
+        index = self._embedding_index()
+        k = min(int(k), self.n_nodes - 1)
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        embedding = self.artifact.embedding
+        distances, indices = index.query(embedding[nodes], k + 1)
+        # Drop the query node from its own row — by id, not position: with
+        # duplicated embedding rows the self-match need not come first.
+        # Index ids are unique, so each row keeps exactly k (self found)
+        # or k + 1 (self beyond the k+1 cut) candidates; truncate to k.
+        out_d = np.empty((nodes.size, k))
+        out_i = np.empty((nodes.size, k), dtype=np.int64)
+        for row in range(nodes.size):
+            keep = np.where(indices[row] != nodes[row])[0][:k]
+            out_d[row] = distances[row, keep]
+            out_i[row] = indices[row, keep]
+        with self._lock:
+            self._counters["neighbors"] += nodes.size
+        return out_d, out_i
+
+    def cluster_labels(
+        self, nodes: np.ndarray | None = None, *, n_clusters: int = 8
+    ) -> np.ndarray:
+        """Spectral-cluster labels of ``nodes`` (all nodes when ``None``).
+
+        The full labeling is computed once per ``n_clusters`` and cached;
+        subsequent queries are array lookups.
+        """
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be at least 1")
+        n_clusters = min(n_clusters, self.n_nodes)
+        labels = self._labels.get(n_clusters)
+        if labels is None:
+            with self._lock:
+                labels = self._labels.get(n_clusters)
+                if labels is None:
+                    labels = spectral_clustering(
+                        self.graph, n_clusters, seed=self._seed
+                    )
+                    self._labels[n_clusters] = labels
+        if nodes is None:
+            with self._lock:
+                self._counters["labels"] += self.n_nodes
+            return labels.copy()
+        nodes = np.asarray(nodes, dtype=np.int64).ravel()
+        if nodes.size and (nodes.min() < 0 or nodes.max() >= self.n_nodes):
+            raise ValueError(f"node id out of range for {self.n_nodes} nodes")
+        with self._lock:
+            self._counters["labels"] += nodes.size
+        return labels[nodes]
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Session statistics: model identity, sizes, per-kind query counts."""
+        with self._lock:
+            counters = dict(self._counters)
+        return {
+            "checksum": self.checksum,
+            "n_nodes": self.n_nodes,
+            "n_edges": self.graph.n_edges,
+            "has_embedding": self.has_embedding,
+            "resistance_engine": self.resistance_engine,
+            "factor_seconds": self.factor_seconds,
+            "cluster_cache": sorted(self._labels),
+            "queries": counters,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GraphSession(checksum={self.checksum[:12]}..., "
+            f"n_nodes={self.n_nodes}, n_edges={self.graph.n_edges})"
+        )

@@ -27,7 +27,13 @@ def _relative_links(path: Path) -> list[str]:
 
 def test_guides_exist():
     names = {path.name for path in REPO_ROOT.glob("docs/*.md")}
-    assert {"architecture.md", "benchmarking.md", "api.md", "testing.md"} <= names
+    assert {
+        "architecture.md",
+        "benchmarking.md",
+        "api.md",
+        "serving.md",
+        "testing.md",
+    } <= names
 
 
 @pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: str(p.relative_to(REPO_ROOT)))
@@ -46,6 +52,7 @@ def test_readme_links_every_guide():
         "docs/architecture.md",
         "docs/benchmarking.md",
         "docs/api.md",
+        "docs/serving.md",
         "docs/testing.md",
     ):
         assert guide in readme, f"README.md does not link {guide}"

@@ -1,0 +1,136 @@
+"""Tests for the previously untested embedding extras: spectral drawing
+(embedding/drawing.py) and the k-means implementation (embedding/kmeans.py)."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import kmeans, spectral_layout
+from repro.embedding.clustering import clustering_agreement
+from repro.graphs.generators import grid_2d
+from repro.graphs.graph import WeightedGraph
+
+
+class TestSpectralLayout:
+    def test_default_shape_and_finiteness(self):
+        coords = spectral_layout(grid_2d(6, 6))
+        assert coords.shape == (36, 2)
+        assert np.all(np.isfinite(coords))
+
+    def test_grid_layout_recovers_geometry(self):
+        # On a path graph u_2 is monotone along the path, so 1-D spectral
+        # coordinates sort the nodes in path order (up to direction).
+        path = WeightedGraph(10, range(9), range(1, 10))
+        coords = spectral_layout(path, dimensions=1).ravel()
+        order = np.argsort(coords)
+        assert order.tolist() in [list(range(10)), list(range(9, -1, -1))]
+
+    def test_higher_dimensions(self):
+        coords = spectral_layout(grid_2d(5, 5), dimensions=4)
+        assert coords.shape == (25, 4)
+        # Columns are orthogonal eigenvectors: no duplicated axes.
+        gram = coords.T @ coords
+        off = gram - np.diag(np.diag(gram))
+        assert np.abs(off).max() < 1e-6
+
+    def test_padding_when_graph_too_small(self):
+        # A triangle has only 2 nontrivial eigenvectors; asking for 5
+        # coordinates pads the remaining columns with zeros.
+        triangle = WeightedGraph(3, [0, 1, 0], [1, 2, 2])
+        coords = spectral_layout(triangle, dimensions=5)
+        assert coords.shape == (3, 5)
+        assert np.allclose(coords[:, 2:], 0.0)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError, match="dimensions"):
+            spectral_layout(grid_2d(3, 3), dimensions=0)
+
+    def test_deterministic_under_seed(self):
+        a = spectral_layout(grid_2d(5, 5), seed=0)
+        b = spectral_layout(grid_2d(5, 5), seed=0)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestKMeans:
+    def test_separated_blobs_recovered(self):
+        rng = np.random.default_rng(0)
+        blobs = np.vstack([
+            rng.normal(0.0, 0.05, size=(20, 2)),
+            rng.normal(5.0, 0.05, size=(20, 2)),
+            rng.normal([0.0, 9.0], 0.05, size=(20, 2)),
+        ])
+        result = kmeans(blobs, 3, seed=0)
+        labels = result.labels
+        assert result.converged
+        for start in (0, 20, 40):
+            assert len(set(labels[start:start + 20])) == 1
+        assert len(set(labels[::20])) == 3
+
+    def test_inertia_is_within_cluster_sse(self):
+        points = np.array([[0.0], [1.0], [10.0], [11.0]])
+        result = kmeans(points, 2, seed=0)
+        expected = sum(
+            np.sum((points[result.labels == c] - result.centers[c]) ** 2)
+            for c in range(2)
+        )
+        assert result.inertia == pytest.approx(expected)
+
+    def test_k_equals_n(self):
+        points = np.arange(5, dtype=float)[:, None]
+        result = kmeans(points, 5, seed=0)
+        assert sorted(result.labels.tolist()) == [0, 1, 2, 3, 4]
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_k_one(self):
+        points = np.random.default_rng(1).standard_normal((12, 3))
+        result = kmeans(points, 1, seed=0)
+        assert set(result.labels) == {0}
+        np.testing.assert_allclose(result.centers[0], points.mean(axis=0))
+
+    def test_duplicate_points_do_not_crash(self):
+        # All-coincident points exercise the degenerate k-means++ branch.
+        points = np.ones((8, 2))
+        result = kmeans(points, 3, seed=0)
+        assert result.labels.shape == (8,)
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_validation_errors(self):
+        points = np.zeros((4, 2))
+        with pytest.raises(ValueError, match="k must satisfy"):
+            kmeans(points, 0)
+        with pytest.raises(ValueError, match="k must satisfy"):
+            kmeans(points, 5)
+        with pytest.raises(ValueError, match="2-D"):
+            kmeans(np.zeros(4), 2)
+
+    def test_seed_determinism(self):
+        points = np.random.default_rng(2).standard_normal((40, 2))
+        a = kmeans(points, 4, seed=7)
+        b = kmeans(points, 4, seed=7)
+        np.testing.assert_array_equal(a.labels, b.labels)
+        assert a.inertia == b.inertia
+
+    def test_more_restarts_never_worse(self):
+        points = np.random.default_rng(3).standard_normal((60, 2))
+        single = kmeans(points, 5, seed=0, n_init=1)
+        multi = kmeans(points, 5, seed=0, n_init=8)
+        assert multi.inertia <= single.inertia + 1e-12
+
+
+class TestClusteringAgreement:
+    def test_identical_labelings(self):
+        labels = np.array([0, 0, 1, 1, 2])
+        assert clustering_agreement(labels, labels) == 1.0
+
+    def test_permuted_labels_still_agree(self):
+        a = np.array([0, 0, 1, 1, 2, 2])
+        b = np.array([2, 2, 0, 0, 1, 1])
+        assert clustering_agreement(a, b) == 1.0
+
+    def test_partial_agreement(self):
+        a = np.array([0, 0, 0, 1, 1, 1])
+        b = np.array([0, 0, 1, 1, 1, 1])
+        assert clustering_agreement(a, b) == pytest.approx(5 / 6)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="same length"):
+            clustering_agreement(np.zeros(3), np.zeros(4))

@@ -1,0 +1,78 @@
+"""Tests for the previously untested SGL convergence history (core/history.py)."""
+
+import numpy as np
+import pytest
+
+from repro.core.history import IterationRecord, SGLHistory
+
+
+def _history(sensitivities, objectives=None):
+    history = SGLHistory()
+    for idx, sens in enumerate(sensitivities):
+        objective = None if objectives is None else objectives[idx]
+        history.append(
+            IterationRecord(
+                iteration=idx,
+                max_sensitivity=sens,
+                n_edges=100 + 3 * idx,
+                n_edges_added=3 if sens > 0 else 0,
+                objective=objective,
+            )
+        )
+    return history
+
+
+class TestSGLHistory:
+    def test_len_and_iteration_protocol(self):
+        history = _history([3.0, 2.0, 1.0])
+        assert len(history) == 3
+        assert [r.iteration for r in history] == [0, 1, 2]
+        assert history.iterations.tolist() == [0, 1, 2]
+        assert history.iterations.dtype == np.int64
+
+    def test_series_properties(self):
+        history = _history([4.0, 2.0, 0.5])
+        assert history.max_sensitivities.tolist() == [4.0, 2.0, 0.5]
+        assert history.edge_counts.tolist() == [100, 103, 106]
+        assert history.edges_added.tolist() == [3, 3, 3]
+
+    def test_log_sensitivities(self):
+        history = _history([100.0, 1.0, 0.01])
+        np.testing.assert_allclose(
+            history.log_max_sensitivities, [2.0, 0.0, -2.0]
+        )
+
+    def test_log_sensitivities_clip_nonpositive_to_floor(self):
+        # Converged iterations report sensitivity 0; the log series clips
+        # them to the smallest positive value seen so plots stay finite.
+        history = _history([10.0, 0.1, 0.0])
+        logs = history.log_max_sensitivities
+        assert np.all(np.isfinite(logs))
+        assert logs[2] == pytest.approx(-1.0)  # floor = 0.1
+
+    def test_log_sensitivities_all_zero(self):
+        history = _history([0.0, 0.0])
+        assert np.all(np.isfinite(history.log_max_sensitivities))
+
+    def test_objectives_nan_padding(self):
+        history = _history([2.0, 1.0, 0.5], objectives=[-3.5, None, -4.0])
+        objectives = history.objectives
+        assert objectives[0] == -3.5 and objectives[2] == -4.0
+        assert np.isnan(objectives[1])
+
+    def test_empty_history(self):
+        history = SGLHistory()
+        assert len(history) == 0
+        assert history.iterations.size == 0
+        assert history.max_sensitivities.size == 0
+        assert history.objectives.size == 0
+        assert np.all(np.isfinite(history.log_max_sensitivities))
+
+    def test_records_are_frozen(self):
+        record = IterationRecord(0, 1.0, 10, 2)
+        with pytest.raises(AttributeError):
+            record.n_edges = 11
+
+    def test_default_objective_is_none(self):
+        record = IterationRecord(0, 1.0, 10, 2)
+        assert record.objective is None

@@ -1,0 +1,483 @@
+"""Tests for repro.serve: sessions, the resistance oracle, micro-batching,
+the LRU service, the TCP front end and the repro-serve CLI."""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.artifacts import save_artifact, save_result
+from repro.core.config import SGLConfig
+from repro.core.sgl import learn_graph
+from repro.graphs.generators import grid_2d
+from repro.graphs.graph import WeightedGraph
+from repro.linalg.pseudoinverse import effective_resistance
+from repro.measurements.generator import simulate_measurements
+from repro.metrics.resistance import sample_node_pairs
+from repro.serve import (
+    GraphService,
+    GraphSession,
+    MicroBatcher,
+    ResistanceOracle,
+    serve_forever,
+)
+from repro.serve.cli import main as serve_main
+
+
+@pytest.fixture(scope="module")
+def learned():
+    data = simulate_measurements(grid_2d(7, 7), n_measurements=30, seed=0)
+    return learn_graph(data, beta=0.05)
+
+
+@pytest.fixture(scope="module")
+def artifact_path(learned, tmp_path_factory):
+    path = tmp_path_factory.mktemp("serve") / "model.npz"
+    save_result(learned, path)
+    return path
+
+
+# ----------------------------------------------------------------------
+class TestResistanceOracle:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_exact_on_tree_plus_random_edges(self, seed):
+        # A random tree plus a handful of random off-tree edges — exactly
+        # the structure SGL emits, with weights spanning two decades.
+        rng = np.random.default_rng(seed)
+        n = 120
+        rows = list(range(1, n))
+        cols = [int(rng.integers(0, i)) for i in range(1, n)]
+        extra = rng.choice(n, size=(12, 2), replace=True)
+        extra = extra[extra[:, 0] != extra[:, 1]]
+        graph = WeightedGraph(
+            n,
+            np.concatenate([rows, extra[:, 0]]),
+            np.concatenate([cols, extra[:, 1]]),
+            rng.uniform(0.1, 10.0, len(rows) + extra.shape[0]),
+        )
+        assert ResistanceOracle.eligible(graph)
+        oracle = ResistanceOracle(graph)
+        assert oracle.n_off_tree > 0
+        pairs = sample_node_pairs(graph.n_nodes, 150, seed=seed)
+        expected = effective_resistance(graph, pairs)
+        np.testing.assert_allclose(oracle.query(pairs), expected, rtol=1e-8)
+
+    def test_exact_on_pure_tree(self):
+        rng = np.random.default_rng(5)
+        parents = [rng.integers(0, i) for i in range(1, 40)]
+        tree = WeightedGraph(
+            40, list(range(1, 40)), parents, rng.uniform(0.5, 2.0, 39)
+        )
+        oracle = ResistanceOracle(tree)
+        assert oracle.n_off_tree == 0
+        pairs = sample_node_pairs(40, 100, seed=0)
+        np.testing.assert_allclose(
+            oracle.query(pairs), effective_resistance(tree, pairs), rtol=1e-9
+        )
+
+    def test_tree_resistance_is_path_sum(self):
+        path = WeightedGraph(4, [0, 1, 2], [1, 2, 3], [1.0, 0.5, 0.25])
+        oracle = ResistanceOracle(path)
+        np.testing.assert_allclose(
+            oracle.query([(0, 3), (1, 2), (2, 2)]), [1 + 2 + 4, 2.0, 0.0]
+        )
+
+    def test_self_pairs_are_zero(self):
+        oracle = ResistanceOracle(grid_2d(4, 4))
+        assert oracle.query([(3, 3), (0, 0)]).tolist() == [0.0, 0.0]
+
+    def test_rejects_out_of_range(self):
+        oracle = ResistanceOracle(grid_2d(3, 3))
+        with pytest.raises(ValueError, match="out of range"):
+            oracle.query([(0, 9)])
+
+    def test_rejects_disconnected(self):
+        graph = WeightedGraph(4, [0, 2], [1, 3])
+        with pytest.raises(ValueError, match="connected"):
+            ResistanceOracle(graph)
+
+    def test_eligibility_dense_graph(self):
+        dense = WeightedGraph.from_adjacency(
+            np.ones((40, 40)) - np.eye(40)
+        )
+        assert not ResistanceOracle.eligible(dense)
+
+
+# ----------------------------------------------------------------------
+class TestGraphSession:
+    def test_resistance_matches_per_pair_solves(self, learned, artifact_path):
+        session = GraphSession.from_file(artifact_path)
+        assert session.resistance_engine == "woodbury"
+        pairs = sample_node_pairs(session.n_nodes, 100, seed=2)
+        expected = effective_resistance(learned.graph, pairs)
+        np.testing.assert_allclose(
+            session.effective_resistance(pairs), expected, rtol=1e-8
+        )
+
+    def test_grouped_engine_matches(self, learned, artifact_path):
+        session = GraphSession.from_file(
+            artifact_path, resistance_engine="grouped", resistance_block=16
+        )
+        assert session.resistance_engine == "grouped"
+        pairs = sample_node_pairs(session.n_nodes, 50, seed=3)
+        expected = effective_resistance(learned.graph, pairs)
+        np.testing.assert_allclose(
+            session.effective_resistance(pairs), expected, rtol=1e-10
+        )
+
+    def test_woodbury_engine_forced_on_ineligible_graph_raises(self, tmp_path):
+        dense = WeightedGraph.from_adjacency(np.ones((30, 30)) - np.eye(30))
+        path = save_artifact(dense, SGLConfig(), tmp_path / "dense.npz")
+        with pytest.raises(ValueError, match="tree-like"):
+            GraphSession.from_file(path, resistance_engine="woodbury")
+        session = GraphSession.from_file(path)  # auto falls back
+        assert session.resistance_engine == "grouped"
+
+    def test_invalid_engine_name(self, artifact_path):
+        with pytest.raises(ValueError, match="resistance_engine"):
+            GraphSession.from_file(artifact_path, resistance_engine="nope")
+
+    def test_nearest_neighbors_contract(self, artifact_path):
+        session = GraphSession.from_file(artifact_path)
+        distances, indices = session.nearest_neighbors([0, 5, 48], k=4)
+        assert distances.shape == (3, 4) and indices.shape == (3, 4)
+        for row, node in zip(indices, [0, 5, 48]):
+            assert node not in row  # self excluded
+        assert np.all(np.diff(distances, axis=1) >= -1e-12)
+
+    def test_nearest_nodes_free_vectors(self, artifact_path):
+        session = GraphSession.from_file(artifact_path)
+        query = session.artifact.embedding[:2]
+        distances, indices = session.nearest_nodes(query, k=1)
+        assert indices.ravel().tolist() == [0, 1]
+        np.testing.assert_allclose(distances.ravel(), 0.0, atol=1e-12)
+
+    def test_neighbors_require_embedding(self, learned, tmp_path):
+        path = tmp_path / "noemb.npz"
+        save_result(learned, path, include_embedding=False)
+        session = GraphSession.from_file(path)
+        with pytest.raises(ValueError, match="without an embedding"):
+            session.nearest_neighbors([0])
+        # Resistance queries still work.
+        assert session.effective_resistance([(0, 1)])[0] > 0
+
+    def test_cluster_labels_cached_and_consistent(self, artifact_path):
+        session = GraphSession.from_file(artifact_path)
+        full = session.cluster_labels(n_clusters=4)
+        assert full.shape == (session.n_nodes,)
+        assert set(np.unique(full)) <= set(range(4))
+        subset = session.cluster_labels([3, 7, 11], n_clusters=4)
+        assert subset.tolist() == full[[3, 7, 11]].tolist()
+        assert session.stats()["cluster_cache"] == [4]
+
+    def test_node_range_checks(self, artifact_path):
+        session = GraphSession.from_file(artifact_path)
+        with pytest.raises(ValueError, match="out of range"):
+            session.nearest_neighbors([999])
+        with pytest.raises(ValueError, match="out of range"):
+            session.cluster_labels([999])
+
+    def test_stats_counters(self, artifact_path):
+        session = GraphSession.from_file(artifact_path)
+        session.effective_resistance([(0, 1), (2, 3)])
+        session.nearest_neighbors([0], k=2)
+        stats = session.stats()
+        assert stats["queries"]["resistance"] == 2
+        assert stats["queries"]["neighbors"] == 1
+        assert stats["n_nodes"] == 49
+
+
+# ----------------------------------------------------------------------
+class TestMicroBatcher:
+    def test_coalesces_concurrent_requests(self):
+        calls = []
+
+        def handler(key, payloads):
+            calls.append(list(payloads))
+            return [p * 10 for p in payloads]
+
+        async def run():
+            batcher = MicroBatcher(handler, max_batch_size=4, max_delay_s=0.01)
+            return await asyncio.gather(*(batcher.submit("k", i) for i in range(10)))
+
+        results = asyncio.run(run())
+        assert results == [i * 10 for i in range(10)]
+        assert all(len(call) <= 4 for call in calls)
+        assert len(calls) <= 4  # 10 requests in at most ceil(10/4)+1 batches
+
+    def test_distinct_keys_do_not_share_batches(self):
+        seen = []
+
+        def handler(key, payloads):
+            seen.append((key, len(payloads)))
+            return payloads
+
+        async def run():
+            batcher = MicroBatcher(handler, max_batch_size=8, max_delay_s=0.005)
+            return await asyncio.gather(
+                batcher.submit("a", 1), batcher.submit("b", 2), batcher.submit("a", 3)
+            )
+
+        assert asyncio.run(run()) == [1, 2, 3]
+        assert sorted(key for key, _ in seen) == ["a", "b"]
+
+    def test_deadline_flush(self):
+        def handler(key, payloads):
+            return payloads
+
+        async def run():
+            batcher = MicroBatcher(handler, max_batch_size=1000, max_delay_s=0.002)
+            result = await batcher.submit("k", 42)  # alone: must flush on deadline
+            return result, batcher.stats.n_deadline_flushes
+
+        result, deadline_flushes = asyncio.run(run())
+        assert result == 42 and deadline_flushes == 1
+
+    def test_handler_errors_propagate_to_waiters(self):
+        def handler(key, payloads):
+            raise RuntimeError("boom")
+
+        async def run():
+            batcher = MicroBatcher(handler, max_batch_size=2, max_delay_s=0.001)
+            return await asyncio.gather(
+                batcher.submit("k", 1), batcher.submit("k", 2),
+                return_exceptions=True,
+            )
+
+        results = asyncio.run(run())
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+    def test_result_count_mismatch_detected(self):
+        def handler(key, payloads):
+            return payloads[:-1]
+
+        async def run():
+            batcher = MicroBatcher(handler, max_batch_size=2, max_delay_s=0.001)
+            return await asyncio.gather(
+                batcher.submit("k", 1), batcher.submit("k", 2),
+                return_exceptions=True,
+            )
+
+        results = asyncio.run(run())
+        assert any("results" in str(r) for r in results)
+
+    def test_stats_accounting(self):
+        def handler(key, payloads):
+            return payloads
+
+        async def run():
+            batcher = MicroBatcher(handler, max_batch_size=5, max_delay_s=0.005)
+            await asyncio.gather(*(batcher.submit("k", i) for i in range(5)))
+            await batcher.drain()
+            return batcher.stats
+
+        stats = asyncio.run(run())
+        assert stats.n_requests == 5
+        assert stats.n_full_flushes >= 1
+        assert stats.max_batch_size == 5
+        summary = stats.as_dict()
+        assert summary["mean_batch_size"] == pytest.approx(5.0)
+        assert "p50_ms" in summary and summary["p99_ms"] >= summary["p50_ms"]
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda k, p: p, max_batch_size=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda k, p: p, max_delay_s=-1)
+
+
+# ----------------------------------------------------------------------
+class TestGraphService:
+    def test_query_kinds_end_to_end(self, learned, artifact_path):
+        service = GraphService(max_batch_size=8, max_delay_s=0.002)
+        pairs = sample_node_pairs(learned.graph.n_nodes, 30, seed=4)
+        expected = effective_resistance(learned.graph, pairs)
+
+        async def run():
+            resistances = await asyncio.gather(
+                *(
+                    service.query(artifact_path, "resistance", tuple(pair))
+                    for pair in pairs
+                )
+            )
+            neighbors = await service.query(artifact_path, "neighbors", 0, k=3)
+            label = await service.query(artifact_path, "labels", 0, n_clusters=3)
+            await service.drain()
+            return resistances, neighbors, label
+
+        resistances, neighbors, label = asyncio.run(run())
+        np.testing.assert_allclose(resistances, expected, rtol=1e-8)
+        assert len(neighbors) == 3 and 0 not in neighbors
+        assert 0 <= label < 3
+        batching = service.stats()["batching"]
+        assert batching["n_requests"] == 32
+        assert batching["n_batches"] < 32  # coalescing actually happened
+        service.close()
+
+    def test_unknown_kind_rejected(self, artifact_path):
+        service = GraphService()
+
+        async def run():
+            await service.query(artifact_path, "sorcery", 0)
+
+        with pytest.raises(ValueError, match="unknown query kind"):
+            asyncio.run(run())
+        service.close()
+
+    def test_lru_eviction_by_checksum(self, learned, tmp_path):
+        paths = []
+        for idx in range(3):
+            data = simulate_measurements(
+                grid_2d(5 + idx, 5), n_measurements=20, seed=idx
+            )
+            result = learn_graph(data, beta=0.05)
+            path = tmp_path / f"m{idx}.npz"
+            save_result(result, path, include_embedding=False)
+            paths.append(path)
+        service = GraphService(max_sessions=2)
+        for path in paths:
+            service.warm(path)
+        stats = service.stats()["sessions"]
+        assert stats["loaded"] == 2
+        assert stats["loads"] == 3
+        assert stats["evictions"] == 1
+        # Re-warming the evicted artifact loads it again.
+        service.warm(paths[0])
+        assert service.stats()["sessions"]["loads"] == 4
+        service.close()
+
+    def test_same_checksum_shares_session(self, learned, tmp_path):
+        a = tmp_path / "a.npz"
+        b = tmp_path / "b.npz"
+        save_result(learned, a, include_embedding=False)
+        save_result(learned, b, include_embedding=False)
+        service = GraphService()
+        first = service.warm(a)
+        second = service.warm(b)
+        assert first is second
+        assert service.stats()["sessions"]["loads"] == 1
+        service.close()
+
+    def test_session_cache_hit_path(self, artifact_path):
+        service = GraphService()
+        first = service.session(artifact_path)
+        second = service.session(artifact_path)
+        assert first is second
+        service.close()
+
+
+# ----------------------------------------------------------------------
+class TestTCPServer:
+    def test_json_lines_round_trip(self, learned, artifact_path):
+        pairs = [[0, 48], [3, 9]]
+        expected = effective_resistance(learned.graph, np.asarray(pairs))
+
+        async def run():
+            service = GraphService(max_batch_size=16, max_delay_s=0.001)
+            ready = asyncio.Event()
+            bound: list = []
+            server = asyncio.create_task(
+                serve_forever(service, "127.0.0.1", 0, ready=ready,
+                              bound_addresses=bound)
+            )
+            await asyncio.wait_for(ready.wait(), timeout=5)
+            host, port = bound[0]
+            reader, writer = await asyncio.open_connection(host, port)
+
+            async def ask(request):
+                writer.write(json.dumps(request).encode() + b"\n")
+                await writer.drain()
+                return json.loads(await asyncio.wait_for(reader.readline(), 10))
+
+            ok = await ask({
+                "id": 7, "kind": "resistance",
+                "artifact": str(artifact_path), "pairs": pairs,
+            })
+            nbr = await ask({
+                "kind": "neighbors", "artifact": str(artifact_path),
+                "nodes": [0], "k": 2,
+            })
+            stats = await ask({"kind": "stats"})
+            warm = await ask({"kind": "warm", "artifact": str(artifact_path)})
+            bad = await ask({"kind": "nope"})
+            not_json = None
+            writer.write(b"this is not json\n")
+            await writer.drain()
+            not_json = json.loads(await asyncio.wait_for(reader.readline(), 10))
+            writer.close()
+            await writer.wait_closed()
+            server.cancel()
+            try:
+                await server
+            except asyncio.CancelledError:
+                pass
+            service.close()
+            return ok, nbr, stats, warm, bad, not_json
+
+        ok, nbr, stats, warm, bad, not_json = asyncio.run(run())
+        assert ok["ok"] and ok["id"] == 7
+        np.testing.assert_allclose(ok["result"], expected, rtol=1e-8)
+        assert nbr["ok"] and len(nbr["result"][0]) == 2
+        assert stats["ok"] and stats["result"]["sessions"]["loaded"] == 1
+        assert warm["ok"] and warm["result"]["n_nodes"] == 49
+        assert not bad["ok"] and "unknown request kind" in bad["error"]
+        assert not not_json["ok"]
+
+
+# ----------------------------------------------------------------------
+class TestServeCLI:
+    def test_warm(self, artifact_path, capsys):
+        assert serve_main(["warm", "--artifact", str(artifact_path)]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["n_nodes"] == 49 and out["resistance_engine"] == "woodbury"
+
+    def test_warm_missing_artifact(self, tmp_path, capsys):
+        code = serve_main(["warm", "--artifact", str(tmp_path / "nope.npz")])
+        assert code == 2
+
+    def test_query_pairs(self, learned, artifact_path, capsys):
+        code = serve_main([
+            "query", "--artifact", str(artifact_path),
+            "--kind", "resistance", "--pairs", "0:48,3:9",
+        ])
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        expected = effective_resistance(learned.graph, [(0, 48), (3, 9)])
+        values = [float(line.split("\t")[1]) for line in lines]
+        np.testing.assert_allclose(values, expected, rtol=1e-8)
+
+    def test_query_random_pairs_summary(self, artifact_path, capsys):
+        code = serve_main([
+            "query", "--artifact", str(artifact_path),
+            "--kind", "resistance", "--random-pairs", "50", "--summary",
+        ])
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["n_queries"] == 50 and summary["qps"] > 0
+        assert summary["batching"]["n_requests"] == 50
+
+    def test_query_neighbors_and_labels(self, artifact_path, capsys):
+        assert serve_main([
+            "query", "--artifact", str(artifact_path),
+            "--kind", "neighbors", "--nodes", "0,1", "--k", "2",
+        ]) == 0
+        assert serve_main([
+            "query", "--artifact", str(artifact_path),
+            "--kind", "labels", "--nodes", "0,1", "--clusters", "3",
+        ]) == 0
+
+    def test_query_requires_inputs(self, artifact_path, capsys):
+        assert serve_main([
+            "query", "--artifact", str(artifact_path), "--kind", "resistance",
+        ]) == 2
+        assert serve_main([
+            "query", "--artifact", str(artifact_path), "--kind", "labels",
+        ]) == 2
+
+    def test_bad_pairs_syntax(self, artifact_path):
+        with pytest.raises(SystemExit):
+            serve_main([
+                "query", "--artifact", str(artifact_path),
+                "--kind", "resistance", "--pairs", "zero:one",
+            ])
