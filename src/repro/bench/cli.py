@@ -127,6 +127,15 @@ def build_parser() -> argparse.ArgumentParser:
         "co-scheduled wall timings contend for cores — prefer --jobs 1 "
         "for timing baselines)",
     )
+    p_run.add_argument(
+        "--trace",
+        default=None,
+        metavar="DIR",
+        help="trace every scenario's timed fits with repro.obs: per-scenario "
+        "span/metrics/resource artifacts land in DIR (plus a merged "
+        "suite_metrics.json; works with --jobs — worker snapshots merge "
+        "exactly); inspect with `python -m repro.obs report`",
+    )
 
     p_serve = sub.add_parser(
         "serve",
@@ -157,6 +166,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--out", default=None, metavar="PATH",
                          help="artifact path (default: BENCH_serving.json)")
     p_serve.add_argument("--tag", default="serving", help="artifact tag")
+    p_serve.add_argument("--trace", default=None, metavar="DIR",
+                         help="trace the serving paths with repro.obs; "
+                         "per-scenario artifacts land in DIR "
+                         "(serve_<scenario>.jsonl + metrics/resources)")
 
     p_cmp = sub.add_parser(
         "compare",
@@ -267,6 +280,7 @@ def _cmd_run(args) -> int:
         track_memory=not args.no_memory,
         n_quality_pairs=args.quality_pairs,
         profile_dir=profile_dir,
+        trace_dir=args.trace,
         jobs=args.jobs,
         progress=progress,
     )
@@ -286,13 +300,39 @@ def _cmd_run(args) -> int:
             "embedding_engine": args.engine,
             "knn_backend": args.knn_backend,
             "profile": str(profile_dir) if profile_dir is not None else None,
+            "trace": args.trace,
         },
     )
     path = save_artifact(artifact, out)
     print(f"wrote {len(records)} record(s) to {path} in {elapsed:.1f}s")
     if profile_dir is not None:
         print(f"cProfile dumps in {profile_dir}/ (load with `python -m pstats`)")
+    if args.trace is not None:
+        merged_path = _merge_suite_metrics(records, args.trace)
+        print(
+            f"trace artifacts in {args.trace}/ "
+            f"(merged metrics: {merged_path}; "
+            "inspect with `python -m repro.obs report`)"
+        )
     return 0
+
+
+def _merge_suite_metrics(records, trace_dir) -> Path:
+    """Fold every record's per-scenario metrics snapshot into one registry.
+
+    Scenario runs (possibly in ``--jobs`` worker processes) each carry a
+    snapshot under ``info["metrics"]``; counters and histograms merge
+    exactly, so the suite-level file answers "where did the whole suite's
+    time go" regardless of process placement.
+    """
+    from repro.obs.metrics import MetricsRegistry
+
+    suite = MetricsRegistry()
+    for record in records:
+        snapshot = record.info.get("metrics")
+        if snapshot:
+            suite.merge(snapshot)
+    return suite.save(Path(trace_dir) / "suite_metrics.json")
 
 
 def _cmd_serve(args) -> int:
@@ -334,6 +374,7 @@ def _cmd_serve(args) -> int:
         workers=args.workers,
         seed=args.seed,
         artifact_dir=args.artifact_dir,
+        trace_dir=args.trace,
         progress=progress,
     )
     elapsed = time.perf_counter() - start
@@ -348,10 +389,16 @@ def _cmd_serve(args) -> int:
             "max_delay_ms": args.max_delay_ms,
             "workers": args.workers,
             "seed": args.seed,
+            "trace": args.trace,
         },
     )
     path = save_artifact(artifact, out)
     print(f"wrote {len(records)} record(s) to {path} in {elapsed:.1f}s")
+    if args.trace is not None:
+        print(
+            f"trace artifacts in {args.trace}/ "
+            "(inspect with `python -m repro.obs report`)"
+        )
     return 0
 
 

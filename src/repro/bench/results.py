@@ -24,7 +24,10 @@ Artifact layout (``BENCH_<tag>.json``, schema v1)::
   than ``time_threshold`` (relative).
 
 Records present on only one side are reported as notes, not failures, so
-adding scenarios never breaks the gate.  Few-millisecond timings are exempt
+adding scenarios never breaks the gate; so is engine-provenance drift (a
+changed ``resistance_engine`` / ``embedding_engine`` or a moved
+``engine_fallbacks`` count in a record's ``info`` block).  Few-millisecond
+timings are exempt
 from the time gate (``min_seconds``) — they are dominated by timer noise.
 """
 
@@ -298,6 +301,22 @@ def compare(
                             f"(drop > {quality_threshold})"
                         ),
                     )
+                )
+
+        # Provenance drift is worth a note even when the numbers pass: a
+        # changed resistance engine or a warm path that started falling
+        # back explains timing shifts the thresholds might just absorb.
+        for info_key, label in (
+            ("resistance_engine", "resistance engine"),
+            ("engine_fallbacks", "engine fallbacks"),
+            ("embedding_engine", "embedding engine"),
+        ):
+            base_val = base.get("info", {}).get(info_key)
+            cand_val = cand.get("info", {}).get(info_key)
+            if base_val is not None and cand_val is not None and base_val != cand_val:
+                report.notes.append(
+                    f"{scenario} ({method}): {label} changed "
+                    f"{base_val!r} -> {cand_val!r}"
                 )
 
         base_density = base["quality"].get("density")

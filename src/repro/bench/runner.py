@@ -33,7 +33,8 @@ import numpy as np
 
 from repro.bench.baselines import run_baseline
 from repro.bench.registry import ScenarioSpec
-from repro.core.instrumentation import StageTimings
+from repro.core.instrumentation import STAGE_NAMES, StageTimings
+from repro.obs.session import ObsSession
 from repro.core.sgl import SGLearner, SGLResult
 from repro.graphs.graph import WeightedGraph
 from repro.measurements.generator import MeasurementSet
@@ -222,6 +223,11 @@ def profile_path_for(profile_dir: str | Path, scenario_name: str) -> Path:
     return Path(profile_dir) / f"{safe}.prof"
 
 
+def trace_prefix_for(scenario_name: str) -> str:
+    """Artifact file prefix of one scenario's trace inside ``--trace DIR``."""
+    return re.sub(r"[^A-Za-z0-9_.+-]", "_", scenario_name)
+
+
 def _profile_scenario(
     spec: ScenarioSpec, measurements: MeasurementSet, profile_dir: str | Path
 ) -> Path:
@@ -254,6 +260,7 @@ def run_scenario(
     track_memory: bool = False,
     n_quality_pairs: int = 120,
     profile_dir: str | Path | None = None,
+    trace_dir: str | Path | None = None,
 ) -> list[BenchRecord]:
     """Benchmark one scenario: the SGL learner plus any requested baselines.
 
@@ -262,7 +269,11 @@ def run_scenario(
     ``info["skipped"]``).  With ``profile_dir`` set, one extra untimed
     learner fit runs under :mod:`cProfile` and its binary stats are dumped
     to ``<profile_dir>/<scenario>.prof`` (recorded under
-    ``info["profile"]``).
+    ``info["profile"]``).  With ``trace_dir`` set, the timed learner runs
+    execute under an ambient :class:`~repro.obs.Tracer`: the hierarchical
+    trace, metrics and resource samples land in
+    ``<trace_dir>/<scenario>.jsonl`` (+ siblings), the trace path under
+    ``info["trace"]`` and the metrics snapshot under ``info["metrics"]``.
     """
     setup_start = time.perf_counter()
     truth = spec.build_graph()
@@ -270,9 +281,29 @@ def run_scenario(
     measurements = spec.build_measurements(truth)
     setup_seconds = time.perf_counter() - setup_start
 
-    wall, stage_totals, result = _timed_sgl_runs(
-        spec, measurements, warmup=warmup, repeats=repeats
-    )
+    obs = ObsSession() if trace_dir is not None else None
+    if obs is not None:
+        with obs:
+            with obs.tracer.span(
+                "scenario", scenario=spec.name, repeats=max(repeats, 1), warmup=warmup
+            ):
+                wall, stage_totals, result = _timed_sgl_runs(
+                    spec, measurements, warmup=warmup, repeats=repeats
+                )
+        # Per-call stage durations feed the fit.<stage>_ms histograms, so a
+        # merged suite metrics file keeps per-stage latency distributions.
+        for span in obs.tracer.spans():
+            if span.name in STAGE_NAMES:
+                obs.metrics.histogram(f"fit.{span.name}_ms").observe(
+                    1e3 * span.duration
+                )
+        obs.metrics.counter("fit.runs").inc(max(repeats, 1))
+        trace_paths = obs.save(trace_dir, prefix=trace_prefix_for(spec.name))
+    else:
+        wall, stage_totals, result = _timed_sgl_runs(
+            spec, measurements, warmup=warmup, repeats=repeats
+        )
+        trace_paths = None
     quality = quality_metrics(
         truth,
         result.graph,
@@ -288,6 +319,7 @@ def run_scenario(
     if profile_dir is not None:
         profile_file = str(_profile_scenario(spec, measurements, profile_dir))
 
+    engine_stats = result.engine_stats or {}
     records = [
         BenchRecord(
             scenario=spec.name,
@@ -311,7 +343,17 @@ def run_scenario(
                 "embedding_engine": result.config.embedding_engine,
                 "knn_backend": result.config.knn_backend,
                 "engine_stats": result.engine_stats,
+                # One number for "how often did the warm path bail": dense
+                # fallbacks (incremental engine) + churn rebuilds (multilevel).
+                "engine_fallbacks": int(engine_stats.get("fallbacks", 0) or 0)
+                + int(engine_stats.get("churn_rebuilds", 0) or 0),
                 "profile": profile_file,
+                "trace": (
+                    str(trace_paths["trace"]) if trace_paths is not None else None
+                ),
+                "metrics": (
+                    obs.metrics.snapshot() if obs is not None else None
+                ),
             },
         )
     ]
@@ -365,6 +407,7 @@ def run_suite(
     track_memory: bool = False,
     n_quality_pairs: int = 120,
     profile_dir: str | Path | None = None,
+    trace_dir: str | Path | None = None,
     jobs: int = 1,
     progress=None,
 ) -> list[BenchRecord]:
@@ -392,6 +435,7 @@ def run_suite(
         track_memory=track_memory,
         n_quality_pairs=n_quality_pairs,
         profile_dir=profile_dir,
+        trace_dir=trace_dir,
     )
     if jobs == 1 or len(specs) <= 1:
         all_records: list[BenchRecord] = []

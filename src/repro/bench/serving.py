@@ -36,8 +36,10 @@ from pathlib import Path
 import numpy as np
 
 from repro.bench import registry
-from repro.bench.runner import BenchRecord
+from repro.bench.runner import BenchRecord, trace_prefix_for
 from repro.core.sgl import SGLearner
+from repro.obs.session import ObsSession
+from repro.obs.tracing import span as obs_span
 from repro.linalg.pseudoinverse import effective_resistance
 from repro.metrics.resistance import sample_node_pairs
 from repro.serve.batching import latency_percentiles_ms
@@ -85,6 +87,7 @@ def serve_records_for_scenario(
     workers: int = 2,
     seed: int = 0,
     artifact_dir: str | Path | None = None,
+    trace_dir: str | Path | None = None,
 ) -> list[BenchRecord]:
     """Benchmark serving one scenario; returns naive/batched/service records.
 
@@ -92,7 +95,11 @@ def serve_records_for_scenario(
     ``<scenario>.npz`` and left in place when an explicit directory was
     given; without one it goes to a temporary directory that is removed
     when the benchmark finishes (``info["artifact"]`` then names a path
-    that no longer exists).
+    that no longer exists).  With ``trace_dir``, the three serving paths
+    run traced: the span tree attributes the batched-vs-service gap to
+    queue wait / pool wait / execute / serialize, the artifacts land in
+    ``<trace_dir>/serve_<scenario>.jsonl`` (+ siblings) and each record's
+    ``info`` carries the trace path and a metrics snapshot.
     """
     spec = registry.get_scenario(scenario)
     truth = spec.build_graph()
@@ -108,6 +115,7 @@ def serve_records_for_scenario(
             spec, truth, measurements, artifact_path,
             n_queries=n_queries, batch_size=batch_size,
             max_delay_ms=max_delay_ms, workers=workers, seed=seed,
+            trace_dir=trace_dir,
         )
     finally:
         if cleanup_dir is not None:
@@ -125,12 +133,49 @@ def _serve_records(
     max_delay_ms: float,
     workers: int,
     seed: int,
+    trace_dir: str | Path | None = None,
+) -> list[BenchRecord]:
+    obs = ObsSession() if trace_dir is not None else None
+    if obs is not None:
+        obs.__enter__()
+    try:
+        records = _serve_records_body(
+            spec, truth, measurements, artifact_path,
+            n_queries=n_queries, batch_size=batch_size,
+            max_delay_ms=max_delay_ms, workers=workers, seed=seed,
+            metrics=obs.metrics if obs is not None else None,
+        )
+    finally:
+        if obs is not None:
+            obs.__exit__(None, None, None)
+    if obs is not None:
+        paths = obs.save(trace_dir, prefix="serve_" + trace_prefix_for(spec.name))
+        snapshot = obs.metrics.snapshot()
+        for record in records:
+            record.info["trace"] = str(paths["trace"])
+            record.info["metrics"] = snapshot
+    return records
+
+
+def _serve_records_body(
+    spec,
+    truth,
+    measurements,
+    artifact_path: Path,
+    *,
+    n_queries: int,
+    batch_size: int,
+    max_delay_ms: float,
+    workers: int,
+    seed: int,
+    metrics=None,
 ) -> list[BenchRecord]:
 
     learn_start = time.perf_counter()
-    result = SGLearner(spec.make_config(measurements.n_nodes)).fit(
-        measurements, checkpoint_path=artifact_path
-    )
+    with obs_span("learn", scenario=spec.name):
+        result = SGLearner(spec.make_config(measurements.n_nodes)).fit(
+            measurements, checkpoint_path=artifact_path
+        )
     learn_seconds = time.perf_counter() - learn_start
 
     session = GraphSession.from_file(
@@ -151,12 +196,13 @@ def _serve_records(
     naive_values = np.empty(n_queries)
     naive_latencies = []
     naive_start = time.perf_counter()
-    for idx, pair in enumerate(pairs):
-        t0 = time.perf_counter()
-        naive_values[idx] = effective_resistance(
-            session.graph, pair[None, :], solver=session.solver
-        )[0]
-        naive_latencies.append(time.perf_counter() - t0)
+    with obs_span("serve_naive", n_queries=n_queries):
+        for idx, pair in enumerate(pairs):
+            t0 = time.perf_counter()
+            naive_values[idx] = effective_resistance(
+                session.graph, pair[None, :], solver=session.solver
+            )[0]
+            naive_latencies.append(time.perf_counter() - t0)
     naive_seconds = time.perf_counter() - naive_start
     p50, p99 = latency_percentiles_ms(naive_latencies)
     records = [
@@ -171,12 +217,13 @@ def _serve_records(
     batched_values = np.empty(n_queries)
     batch_latencies = []
     batched_start = time.perf_counter()
-    for start in range(0, n_queries, batch_size):
-        t0 = time.perf_counter()
-        chunk = pairs[start:start + batch_size]
-        batched_values[start:start + batch_size] = session.effective_resistance(chunk)
-        dt = time.perf_counter() - t0
-        batch_latencies.extend([dt] * chunk.shape[0])  # all pairs wait for the block
+    with obs_span("serve_batched", n_queries=n_queries, batch_size=batch_size):
+        for start in range(0, n_queries, batch_size):
+            t0 = time.perf_counter()
+            chunk = pairs[start:start + batch_size]
+            batched_values[start:start + batch_size] = session.effective_resistance(chunk)
+            dt = time.perf_counter() - t0
+            batch_latencies.extend([dt] * chunk.shape[0])  # all pairs wait for the block
     batched_seconds = time.perf_counter() - batched_start
     if not np.allclose(batched_values, naive_values, rtol=1e-7, atol=1e-10):
         raise RuntimeError("batched resistances diverged from the naive solves")
@@ -198,6 +245,7 @@ def _serve_records(
         max_delay_s=max_delay_ms / 1e3,
         max_workers=workers,
         session_options={"resistance_block": batch_size, "seed": seed},
+        metrics=metrics,
     )
     service.warm(artifact_path)
 
@@ -212,7 +260,8 @@ def _serve_records(
         await service.drain()
         return values, time.perf_counter() - start
 
-    service_values, service_seconds = asyncio.run(run_service())
+    with obs_span("serve_service", n_queries=n_queries, batch_size=batch_size):
+        service_values, service_seconds = asyncio.run(run_service())
     if not np.allclose(service_values, naive_values, rtol=1e-7, atol=1e-10):
         raise RuntimeError("service resistances diverged from the naive solves")
     batching = service.stats()["batching"]
@@ -244,6 +293,7 @@ def run_serve_bench(
     workers: int = 2,
     seed: int = 0,
     artifact_dir: str | Path | None = None,
+    trace_dir: str | Path | None = None,
     progress=None,
 ) -> list[BenchRecord]:
     """Run the serve benchmark over several scenarios (see module docs)."""
@@ -257,6 +307,7 @@ def run_serve_bench(
             workers=workers,
             seed=seed,
             artifact_dir=artifact_dir,
+            trace_dir=trace_dir,
         )
         all_records.extend(records)
         if progress is not None:

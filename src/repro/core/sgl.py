@@ -35,6 +35,7 @@ import numpy as np
 from repro.core.config import SGLConfig
 from repro.core.history import IterationRecord, SGLHistory
 from repro.core.instrumentation import StageTimings
+from repro.obs.tracing import set_attributes, span as obs_span
 from repro.core.objective import graphical_lasso_objective
 from repro.core.scaling import spectral_edge_scaling
 from repro.core.sensitivity import edge_sensitivities
@@ -236,6 +237,37 @@ class SGLearner:
         if timings is None:
             timings = StageTimings()
 
+        # The whole fit runs under one root span (a no-op without an active
+        # repro.obs tracer); every stage entry below nests under it, and
+        # each densification iteration gets its own child span, so a traced
+        # run yields fit -> iteration -> stage trees whose per-stage totals
+        # are exactly the StageTimings sums.
+        with obs_span(
+            "sgl.fit",
+            n_nodes=n_nodes,
+            n_measurements=n_measurements,
+            embedding_engine=config.embedding_engine,
+            knn_backend=config.knn_backend,
+        ):
+            result = self._fit_body(voltages, currents, timings, checkpoint_path)
+            set_attributes(
+                converged=result.converged,
+                n_iterations=result.n_iterations,
+                n_edges_learned=result.graph.n_edges,
+            )
+        return result
+
+    def _fit_body(
+        self,
+        voltages: np.ndarray,
+        currents: np.ndarray | None,
+        timings: StageTimings,
+        checkpoint_path: str | Path | None,
+    ) -> SGLResult:
+        """The body of :meth:`fit`, run under the ``sgl.fit`` root span."""
+        config = self.config
+        n_nodes = voltages.shape[0]
+
         candidates, graph = self._initial_graphs(voltages, timings)
         initial_graph = graph.copy()
 
@@ -273,86 +305,106 @@ class SGLearner:
             if pool_edges.shape[0] == 0:
                 converged = True
                 break
-            if isinstance(engine, MultilevelEmbeddingEngine):
-                # The engine times its own phases into "coarsen" / "refine".
-                embedding = engine.refresh(graph, added_edges, timings=timings)
-            elif engine is not None:
-                # Warm refreshes land in "embedding_warm"; cold solves and
-                # fallbacks stay in "embedding" so the stages stay comparable
-                # with the stateless path.
-                start = time.perf_counter()
-                embedding = engine.refresh(graph, added_edges)
-                elapsed = time.perf_counter() - start
-                stage = (
-                    "embedding_warm"
-                    if engine.last_mode in ("warm-rr", "warm-inverse")
-                    else "embedding"
-                )
-                timings.add(stage, elapsed)
-            else:
-                with timings.stage("embedding"):
-                    embedding = spectral_embedding_matrix(
-                        graph,
-                        config.r,
-                        sigma_sq=config.sigma_sq,
-                        method=config.eigensolver,
-                        seed=config.seed,
-                        multilevel_coarse_size=config.multilevel_coarse_size,
+            with obs_span(
+                "iteration",
+                iteration=iteration,
+                n_edges=graph.n_edges,
+                n_candidates=int(pool_edges.shape[0]),
+            ):
+                if isinstance(engine, MultilevelEmbeddingEngine):
+                    # The engine times its own phases into "coarsen" /
+                    # "refine" (and tags the spans with its V-cycle state).
+                    embedding = engine.refresh(graph, added_edges, timings=timings)
+                elif engine is not None:
+                    # Warm refreshes land in "embedding_warm"; cold solves
+                    # and fallbacks stay in "embedding" so the stages stay
+                    # comparable with the stateless path.  The stage name is
+                    # only known after the refresh, hence add_interval.
+                    start = time.perf_counter()
+                    embedding = engine.refresh(graph, added_edges)
+                    end = time.perf_counter()
+                    stage = (
+                        "embedding_warm"
+                        if engine.last_mode in ("warm-rr", "warm-inverse")
+                        else "embedding"
                     )
-            with timings.stage("sensitivity"):
-                sensitivities = edge_sensitivities(embedding, voltages, pool_edges)
-            max_sensitivity = float(sensitivities.max())
-
-            objective = None
-            if config.track_objective:
-                with timings.stage("objective"):
-                    objective = graphical_lasso_objective(
-                        graph,
-                        voltages,
-                        sigma_sq=config.sigma_sq,
-                        n_eigenvalues=config.objective_eigenvalues,
-                        seed=config.seed,
+                    timings.add_interval(
+                        stage,
+                        start,
+                        end,
+                        mode=engine.last_mode,
+                        fallbacks=engine.stats.fallbacks,
+                        factorizations=engine.stats.factorizations,
                     )
+                else:
+                    with timings.stage("embedding", method=config.eigensolver):
+                        embedding = spectral_embedding_matrix(
+                            graph,
+                            config.r,
+                            sigma_sq=config.sigma_sq,
+                            method=config.eigensolver,
+                            seed=config.seed,
+                            multilevel_coarse_size=config.multilevel_coarse_size,
+                        )
+                with timings.stage("sensitivity"):
+                    sensitivities = edge_sensitivities(embedding, voltages, pool_edges)
+                max_sensitivity = float(sensitivities.max())
 
-            if max_sensitivity < config.tol:
+                objective = None
+                if config.track_objective:
+                    with timings.stage("objective"):
+                        objective = graphical_lasso_objective(
+                            graph,
+                            voltages,
+                            sigma_sq=config.sigma_sq,
+                            n_eigenvalues=config.objective_eigenvalues,
+                            seed=config.seed,
+                        )
+
+                if max_sensitivity < config.tol:
+                    history.append(
+                        IterationRecord(
+                            iteration=iteration,
+                            max_sensitivity=max_sensitivity,
+                            n_edges=graph.n_edges,
+                            n_edges_added=0,
+                            objective=objective,
+                        )
+                    )
+                    converged = True
+                    set_attributes(max_sensitivity=max_sensitivity, n_edges_added=0)
+                    break
+
+                # Step 3: add the top-ranked influential edges.
+                with timings.stage("edge_selection"):
+                    order = np.argsort(sensitivities)[::-1][:batch_size]
+                    chosen = order[sensitivities[order] > config.tol]
+                    add_edges = pool_edges[chosen]
+                    add_weights = pool_weights[chosen]
+                    graph = graph.add_edges(add_edges, add_weights)
+                    added_edges = add_edges
+
+                    keep = np.ones(pool_edges.shape[0], dtype=bool)
+                    keep[chosen] = False
+                    pool_edges = pool_edges[keep]
+                    pool_weights = pool_weights[keep]
+
                 history.append(
                     IterationRecord(
                         iteration=iteration,
                         max_sensitivity=max_sensitivity,
                         n_edges=graph.n_edges,
-                        n_edges_added=0,
+                        n_edges_added=int(chosen.size),
                         objective=objective,
                     )
                 )
-                converged = True
-                break
-
-            # Step 3: add the top-ranked influential edges.
-            with timings.stage("edge_selection"):
-                order = np.argsort(sensitivities)[::-1][:batch_size]
-                chosen = order[sensitivities[order] > config.tol]
-                add_edges = pool_edges[chosen]
-                add_weights = pool_weights[chosen]
-                graph = graph.add_edges(add_edges, add_weights)
-                added_edges = add_edges
-
-                keep = np.ones(pool_edges.shape[0], dtype=bool)
-                keep[chosen] = False
-                pool_edges = pool_edges[keep]
-                pool_weights = pool_weights[keep]
-
-            history.append(
-                IterationRecord(
-                    iteration=iteration,
+                set_attributes(
                     max_sensitivity=max_sensitivity,
-                    n_edges=graph.n_edges,
                     n_edges_added=int(chosen.size),
-                    objective=objective,
                 )
-            )
-            if chosen.size == 0:
-                converged = True
-                break
+                if chosen.size == 0:
+                    converged = True
+                    break
 
         unscaled = graph
         scaling_factor = 1.0

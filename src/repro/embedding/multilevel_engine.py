@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.embedding.spectral import SpectralEmbedding, embedding_from_eigenpairs
 from repro.graphs.graph import WeightedGraph
+from repro.obs.tracing import set_attributes
 from repro.linalg.coarsening import CoarseningHierarchy
 from repro.linalg.eigen import laplacian_eigenpairs
 from repro.linalg.multilevel import MultilevelEigensolver
@@ -295,6 +296,7 @@ class MultilevelEmbeddingEngine:
         if n <= max(self.solver.coarse_size, k_work + 2):
             # Too small to coarsen: a dense solve is cheaper than bookkeeping.
             with refine_stage:
+                set_attributes(mode="dense", n_levels=0)
                 values, vectors = laplacian_eigenpairs(graph, k_work, method="dense")
             self.stats.dense_solves += 1
             self.stats.n_levels = 0
@@ -302,12 +304,21 @@ class MultilevelEmbeddingEngine:
         else:
             with coarsen_stage:
                 hierarchy = self._ensure_hierarchy(graph)
+                # Tag the traced span (no-op without an active tracer) with
+                # what this coarsen actually did — build/reuse/reproject and
+                # the resulting hierarchy depth.
+                set_attributes(mode=self.last_mode, n_levels=hierarchy.n_levels)
             self.stats.n_levels = hierarchy.n_levels
             warm = self._vectors if self._n_nodes == n else None
             steps = None  # solver default (cold budget, every level)
             if warm is not None and self.last_mode in ("reuse", "reproject"):
                 steps = [self.warm_refinement_steps, self.warm_coarse_steps]
             with refine_stage:
+                set_attributes(
+                    n_levels=hierarchy.n_levels,
+                    warm=warm is not None,
+                    churn_rebuilds=self.stats.churn_rebuilds,
+                )
                 result = self.solver.solve(
                     graph,
                     k_work,

@@ -1,0 +1,72 @@
+"""``repro.obs`` — unified tracing, metrics and resource telemetry.
+
+The observability layer the rest of the stack leans on:
+
+* :class:`Tracer` / :func:`span` — hierarchical spans with contextvar
+  propagation (including across the asyncio micro-batcher's thread-pool
+  hop), JSONL and Chrome-``about://tracing`` exports.  Activated *ambiently*
+  via :func:`activate`; every instrumentation point in :mod:`repro.core`,
+  :mod:`repro.embedding` and :mod:`repro.serve` is a near-free no-op until
+  a tracer is active.
+* :class:`MetricsRegistry` — counters, gauges and fixed-bucket
+  :class:`Histogram` instruments (interpolated p50/p95/p99, snapshots
+  mergeable across ``--jobs`` worker processes).
+* :class:`ResourceSampler` — background RSS / GC / thread-count sampling.
+* :class:`ObsSession` — the bundle of all three with one lifecycle, used
+  by ``repro.bench run|serve --trace DIR`` and ``repro-serve``.
+* ``python -m repro.obs report trace.jsonl`` — self-time-sorted span
+  table, span tree and histogram summaries.
+
+Examples
+--------
+>>> from repro.obs import ObsSession, span, set_attributes
+>>> with ObsSession(sample_resources=False) as session:
+...     with span("fit", n_nodes=100):
+...         with span("knn"):
+...             set_attributes(backend="kdtree")
+>>> [s.name for s in session.tracer.spans()]
+['knn', 'fit']
+>>> session.tracer.spans()[0].attributes
+{'backend': 'kdtree'}
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_SIZE_BUCKETS,
+    DEFAULT_TIME_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.resources import ResourceSampler, rss_bytes
+from repro.obs.session import ObsSession
+from repro.obs.tracing import (
+    Span,
+    Tracer,
+    activate,
+    current_span,
+    current_tracer,
+    load_spans,
+    set_attributes,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_SIZE_BUCKETS",
+    "DEFAULT_TIME_BUCKETS_MS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObsSession",
+    "ResourceSampler",
+    "Span",
+    "Tracer",
+    "activate",
+    "current_span",
+    "current_tracer",
+    "load_spans",
+    "rss_bytes",
+    "set_attributes",
+    "span",
+]

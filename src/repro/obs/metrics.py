@@ -1,0 +1,333 @@
+"""Counters, gauges and fixed-bucket histograms: the metrics half of
+:mod:`repro.obs`.
+
+A :class:`MetricsRegistry` is a thread-safe, dependency-free bag of named
+instruments with a JSON-ready :meth:`~MetricsRegistry.snapshot` and an exact
+:meth:`~MetricsRegistry.merge` — snapshots from worker processes (the
+``repro.bench run --jobs N`` pool) fold into one registry because every
+instrument is a sum-like object: counters add, gauges keep the max, and
+histograms with identical bucket bounds add bucket-wise.
+
+Histograms use *fixed* bucket upper bounds (Prometheus-style ``le`` edges),
+so p50/p95/p99 come from the bucket counts by linear interpolation — no
+per-sample storage, O(1) memory under any load, and quantiles that stay
+meaningful after merging.
+
+Examples
+--------
+>>> from repro.obs import MetricsRegistry
+>>> registry = MetricsRegistry()
+>>> registry.counter("serve.requests").inc(3)
+>>> hist = registry.histogram("latency_ms", buckets=(1.0, 10.0, 100.0))
+>>> for value in (0.5, 2.0, 3.0, 50.0):
+...     hist.observe(value)
+>>> hist.count, hist.counts
+(4, [1, 2, 1, 0])
+>>> snap = registry.snapshot()
+>>> snap["counters"]["serve.requests"]
+3
+>>> merged = MetricsRegistry()
+>>> merged.merge(snap); merged.merge(snap)
+>>> merged.counter("serve.requests").value
+6
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import threading
+from pathlib import Path
+
+__all__ = [
+    "Counter",
+    "DEFAULT_SIZE_BUCKETS",
+    "DEFAULT_TIME_BUCKETS_MS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Default histogram edges for latencies in *milliseconds*: 1 µs .. 60 s,
+#: roughly 2.5x apart — fine enough that interpolated p99s track numpy
+#: percentiles to within a bucket width across six orders of magnitude.
+DEFAULT_TIME_BUCKETS_MS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1_000.0, 2_500.0, 5_000.0, 10_000.0, 30_000.0, 60_000.0,
+)
+
+#: Default histogram edges for sizes/counts (batch occupancy, levels, ...).
+DEFAULT_SIZE_BUCKETS: tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096,
+)
+
+
+class Counter:
+    """A monotonically increasing sum."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current total (integral totals come back as ints)."""
+        if float(self._value).is_integer():
+            return int(self._value)
+        return self._value
+
+
+class Gauge:
+    """A last-write-wins value (RSS, queue depth, ...)."""
+
+    __slots__ = ("name", "_value", "_max", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._max = float("-inf")
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        with self._lock:
+            self._value = float(value)
+            self._max = max(self._max, float(value))
+
+    @property
+    def value(self) -> float:
+        """Most recently set value."""
+        return self._value
+
+    @property
+    def max(self) -> float:
+        """Largest value ever set (0 before the first set)."""
+        return self._max if self._max != float("-inf") else 0.0
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated quantiles.
+
+    ``buckets`` are strictly increasing upper bounds; one implicit overflow
+    bucket catches everything beyond the last edge.  Quantiles interpolate
+    linearly inside the containing bucket (the first bucket interpolates
+    from the observed minimum, the overflow bucket from the last edge to
+    the observed maximum), so accuracy is bounded by the bucket width.
+
+    Examples
+    --------
+    >>> hist = Histogram("x", buckets=tuple(float(b) for b in range(1, 11)))
+    >>> for value in range(1, 101):
+    ...     hist.observe(value / 10)
+    >>> round(hist.quantile(0.5), 2)
+    5.0
+    >>> hist.count, round(hist.sum, 1), hist.min, hist.max
+    (100, 505.0, 0.1, 10.0)
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "sum", "min", "max", "_lock")
+
+    def __init__(self, name: str, *, buckets: tuple[float, ...] = DEFAULT_TIME_BUCKETS_MS) -> None:
+        buckets = tuple(float(b) for b in buckets)
+        if not buckets or any(b <= a for a, b in zip(buckets, buckets[1:])):
+            raise ValueError("buckets must be non-empty and strictly increasing")
+        self.name = name
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)  # [..., overflow]
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _bucket_index(self, value: float) -> int:
+        return bisect.bisect_left(self.buckets, value)
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        value = float(value)
+        idx = self._bucket_index(value)
+        with self._lock:
+            self.counts[idx] += 1
+            self.count += 1
+            self.sum += value
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observed samples (0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Interpolated ``q``-quantile (``0 <= q <= 1``) from the buckets."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        with self._lock:
+            if self.count == 0:
+                return 0.0
+            target = q * self.count
+            cumulative = 0
+            for idx, bucket_count in enumerate(self.counts):
+                if bucket_count == 0:
+                    continue
+                lower = self.buckets[idx - 1] if idx > 0 else self.min
+                upper = self.buckets[idx] if idx < len(self.buckets) else self.max
+                lower = max(min(lower, upper), self.min)
+                upper = min(upper, self.max)
+                if cumulative + bucket_count >= target:
+                    fraction = (target - cumulative) / bucket_count
+                    return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
+                cumulative += bucket_count
+            return self.max  # pragma: no cover - unreachable (counts sum to count)
+
+    def percentiles(self) -> dict[str, float]:
+        """The conventional p50 / p95 / p99 summary."""
+        return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    def merge(self, other: "Histogram | dict") -> None:
+        """Fold another histogram (or its snapshot dict) into this one."""
+        if isinstance(other, Histogram):
+            data = other.as_dict()
+        else:
+            data = other
+        if tuple(data["buckets"]) != self.buckets:
+            raise ValueError(
+                f"cannot merge histogram {self.name!r}: bucket bounds differ"
+            )
+        with self._lock:
+            for idx, n in enumerate(data["counts"]):
+                self.counts[idx] += int(n)
+            self.count += int(data["count"])
+            self.sum += float(data["sum"])
+            if data["count"]:
+                self.min = min(self.min, float(data["min"]))
+                self.max = max(self.max, float(data["max"]))
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot (mergeable; see :meth:`merge`)."""
+        with self._lock:
+            out = {
+                "buckets": list(self.buckets),
+                "counts": list(self.counts),
+                "count": self.count,
+                "sum": self.sum,
+                "min": self.min if self.count else 0.0,
+                "max": self.max if self.count else 0.0,
+            }
+        out.update({k: v for k, v in self.percentiles().items()})
+        out["mean"] = self.mean
+        return out
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments.
+
+    Names are free-form dotted strings (``serve.resistance.queue_wait_ms``).
+    Asking for an existing name returns the existing instrument; asking
+    with a conflicting type raises.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def _check_free(self, name: str, kind: dict) -> None:
+        for registry in (self._counters, self._gauges, self._histograms):
+            if registry is not kind and name in registry:
+                raise ValueError(f"metric {name!r} already registered with another type")
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        with self._lock:
+            self._check_free(name, self._counters)
+            return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        with self._lock:
+            self._check_free(name, self._gauges)
+            return self._gauges.setdefault(name, Gauge(name))
+
+    def histogram(
+        self, name: str, *, buckets: tuple[float, ...] = DEFAULT_TIME_BUCKETS_MS
+    ) -> Histogram:
+        """Get or create the histogram ``name`` (buckets fixed at creation)."""
+        with self._lock:
+            self._check_free(name, self._histograms)
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram(name, buckets=buckets)
+            return hist
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-ready state of every instrument (input to :meth:`merge`)."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {
+                name: (int(c.value) if float(c.value).is_integer() else c.value)
+                for name, c in sorted(counters.items())
+            },
+            "gauges": {
+                name: {"value": g.value, "max": g.max}
+                for name, g in sorted(gauges.items())
+            },
+            "histograms": {
+                name: h.as_dict() for name, h in sorted(histograms.items())
+            },
+        }
+
+    def merge(self, snapshot: "dict | MetricsRegistry") -> None:
+        """Fold a snapshot (or another registry) into this one.
+
+        Counters and histograms add; gauges keep the incoming value and the
+        running max.  This is how per-process metrics from ``--jobs``
+        workers combine into the suite-level ``metrics.json``.
+        """
+        if isinstance(snapshot, MetricsRegistry):
+            snapshot = snapshot.snapshot()
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(float(value))
+        for name, data in snapshot.get("gauges", {}).items():
+            gauge = self.gauge(name)
+            gauge.set(float(data["max"]))
+            gauge.set(float(data["value"]))
+        for name, data in snapshot.get("histograms", {}).items():
+            self.histogram(name, buckets=tuple(data["buckets"])).merge(data)
+
+    def save(self, path: str | Path) -> Path:
+        """Write the snapshot as pretty-printed JSON."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.snapshot(), indent=2, sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict) -> "MetricsRegistry":
+        """Rebuild a registry from a snapshot (inverse of :meth:`snapshot`)."""
+        registry = cls()
+        registry.merge(snapshot)
+        return registry

@@ -1,0 +1,311 @@
+"""Render traces and metrics for humans: ``python -m repro.obs report``.
+
+Two views over a JSONL trace:
+
+* an **aggregate table** — per span *name*: call count, total time, and
+  *self* time (total minus the time covered by child spans), sorted by
+  self time descending.  This is the "where does the time actually go"
+  answer ROADMAP items 1 and 4 need: a stage whose total is large but
+  whose self time is small is just a wrapper around its children;
+* a **span tree** — the hierarchy itself, children indented under parents
+  in start order, with durations, self times and attributes.
+
+When a metrics snapshot sits next to the trace (``*_metrics.json``, as
+written by :meth:`repro.obs.ObsSession.save`), its histograms are rendered
+as a quantile table and its counters/gauges listed.
+
+Examples
+--------
+>>> from repro.obs import Tracer
+>>> from repro.obs.report import aggregate_spans, format_aggregate
+>>> tracer = Tracer()
+>>> with tracer.span("fit"):
+...     with tracer.span("knn"):
+...         pass
+>>> rows = aggregate_spans(tracer.spans())
+>>> [row.name for row in rows]
+['fit', 'knn']
+>>> print(format_aggregate(rows).splitlines()[0].split())
+['name', 'calls', 'total_s', 'self_s', 'self_%']
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs.tracing import Span, load_spans
+
+__all__ = [
+    "SpanNode",
+    "aggregate_spans",
+    "build_tree",
+    "format_aggregate",
+    "format_histograms",
+    "format_tree",
+    "main",
+    "self_times",
+]
+
+
+@dataclass
+class SpanNode:
+    """One span plus its children, as rebuilt from a flat trace."""
+
+    span: Span
+    children: list["SpanNode"] = field(default_factory=list)
+
+    @property
+    def self_seconds(self) -> float:
+        """Span duration not covered by its children."""
+        return max(
+            0.0, self.span.duration - sum(c.span.duration for c in self.children)
+        )
+
+
+def build_tree(spans: list[Span]) -> list[SpanNode]:
+    """Rebuild the span hierarchy; returns the root nodes in start order.
+
+    Spans whose parent is missing from the list (e.g. a truncated trace)
+    are promoted to roots rather than dropped.
+    """
+    nodes = {span.span_id: SpanNode(span) for span in spans}
+    roots: list[SpanNode] = []
+    for span in spans:
+        node = nodes[span.span_id]
+        parent = nodes.get(span.parent_id) if span.parent_id is not None else None
+        if parent is None or parent is node:
+            roots.append(node)
+        else:
+            parent.children.append(node)
+    for node in nodes.values():
+        node.children.sort(key=lambda child: child.span.start)
+    roots.sort(key=lambda node: node.span.start)
+    return roots
+
+
+def self_times(spans: list[Span]) -> dict[int, float]:
+    """Self time (seconds) per ``span_id``."""
+    out: dict[int, float] = {}
+
+    def visit(node: SpanNode) -> None:
+        out[node.span.span_id] = node.self_seconds
+        for child in node.children:
+            visit(child)
+
+    for root in build_tree(spans):
+        visit(root)
+    return out
+
+
+@dataclass
+class AggregateRow:
+    """Per-span-name totals for the aggregate table."""
+
+    name: str
+    calls: int
+    total_seconds: float
+    self_seconds: float
+
+
+def aggregate_spans(spans: list[Span]) -> list[AggregateRow]:
+    """Per-name call counts and total/self seconds, self-time-sorted."""
+    selfs = self_times(spans)
+    totals: dict[str, AggregateRow] = {}
+    for span in spans:
+        row = totals.setdefault(span.name, AggregateRow(span.name, 0, 0.0, 0.0))
+        row.calls += 1
+        row.total_seconds += span.duration
+        row.self_seconds += selfs.get(span.span_id, span.duration)
+    return sorted(totals.values(), key=lambda row: -row.self_seconds)
+
+
+def format_aggregate(rows: list[AggregateRow]) -> str:
+    """Fixed-width aggregate table, one line per span name."""
+    grand_self = sum(row.self_seconds for row in rows) or 1.0
+    width = max([len(row.name) for row in rows] + [4])
+    lines = [
+        f"{'name':<{width}}  {'calls':>6}  {'total_s':>9}  {'self_s':>9}  {'self_%':>6}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.name:<{width}}  {row.calls:>6d}  {row.total_seconds:>9.4f}  "
+            f"{row.self_seconds:>9.4f}  {100 * row.self_seconds / grand_self:>5.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def format_tree(
+    spans: list[Span],
+    *,
+    max_depth: int | None = None,
+    min_seconds: float = 0.0,
+    max_children: int = 40,
+) -> str:
+    """Indented span-tree rendering (children in start order)."""
+    lines: list[str] = []
+
+    def visit(node: SpanNode, depth: int) -> None:
+        span = node.span
+        if span.duration < min_seconds and depth > 0:
+            return
+        attrs = ""
+        if span.attributes:
+            inner = ", ".join(
+                f"{key}={value}" for key, value in sorted(span.attributes.items())
+            )
+            attrs = f"  [{inner}]"
+        lines.append(
+            f"{'  ' * depth}{span.name}  {span.duration:.4f}s "
+            f"(self {node.self_seconds:.4f}s){attrs}"
+        )
+        if max_depth is not None and depth + 1 > max_depth:
+            return
+        shown = node.children[:max_children]
+        for child in shown:
+            visit(child, depth + 1)
+        hidden = len(node.children) - len(shown)
+        if hidden > 0:
+            lines.append(f"{'  ' * (depth + 1)}... {hidden} more child span(s)")
+
+    for root in build_tree(spans):
+        visit(root, 0)
+    return "\n".join(lines)
+
+
+def format_histograms(snapshot: dict) -> str:
+    """Histogram/counter/gauge summary of a metrics snapshot."""
+    lines: list[str] = []
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        width = max(len(name) for name in histograms)
+        lines.append(
+            f"{'histogram':<{width}}  {'count':>8}  {'mean':>10}  "
+            f"{'p50':>10}  {'p95':>10}  {'p99':>10}  {'max':>10}"
+        )
+        for name, data in sorted(histograms.items()):
+            lines.append(
+                f"{name:<{width}}  {data['count']:>8d}  {data['mean']:>10.4f}  "
+                f"{data['p50']:>10.4f}  {data['p95']:>10.4f}  "
+                f"{data['p99']:>10.4f}  {data['max']:>10.4f}"
+            )
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("")
+        lines.append("counters:")
+        for name, value in sorted(counters.items()):
+            lines.append(f"  {name} = {value}")
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        lines.append("")
+        lines.append("gauges (last / max):")
+        for name, data in sorted(gauges.items()):
+            lines.append(f"  {name} = {data['value']:g} / {data['max']:g}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+def _metrics_next_to(trace_path: Path) -> Path | None:
+    """The conventional sibling metrics snapshot of a trace, if present."""
+    stem = trace_path.stem
+    candidate = trace_path.with_name(f"{stem}_metrics.json")
+    return candidate if candidate.exists() else None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.obs`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description="Inspect repro.obs trace and metrics artifacts.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_report = sub.add_parser(
+        "report", help="self-time table, span tree and histogram summaries"
+    )
+    p_report.add_argument("trace", help="trace .jsonl path")
+    p_report.add_argument("--metrics", default=None, metavar="PATH",
+                          help="metrics snapshot JSON "
+                          "(default: <trace>_metrics.json when present)")
+    p_report.add_argument("--depth", type=int, default=3,
+                          help="span-tree depth limit (default 3; 0 = roots only)")
+    p_report.add_argument("--min-ms", type=float, default=0.0,
+                          help="hide tree spans shorter than this (default 0)")
+    p_report.add_argument("--no-tree", action="store_true",
+                          help="only print the aggregate table")
+
+    p_chrome = sub.add_parser(
+        "chrome", help="convert a .jsonl trace to the chrome://tracing format"
+    )
+    p_chrome.add_argument("trace", help="trace .jsonl path")
+    p_chrome.add_argument("out", nargs="?", default=None,
+                          help="output path (default: <trace>_chrome.json)")
+    return parser
+
+
+def _cmd_report(args) -> int:
+    try:
+        spans = load_spans(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not spans:
+        print(f"error: {args.trace} holds no spans", file=sys.stderr)
+        return 2
+    wall = max(span.end for span in spans) - min(span.start for span in spans)
+    print(f"{len(spans)} span(s) over {wall:.4f}s wall  ({args.trace})")
+    print()
+    print(format_aggregate(aggregate_spans(spans)))
+    if not args.no_tree:
+        print()
+        print(
+            format_tree(spans, max_depth=args.depth, min_seconds=args.min_ms / 1e3)
+        )
+    metrics_path = args.metrics or _metrics_next_to(Path(args.trace))
+    if metrics_path is not None:
+        try:
+            snapshot = json.loads(Path(metrics_path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: {metrics_path}: {exc}", file=sys.stderr)
+            return 2
+        rendered = format_histograms(snapshot)
+        if rendered:
+            print()
+            print(f"metrics ({metrics_path}):")
+            print(rendered)
+    return 0
+
+
+def _cmd_chrome(args) -> int:
+    from repro.obs.tracing import Tracer
+
+    try:
+        spans = load_spans(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    out = args.out or str(Path(args.trace).with_suffix("")) + "_chrome.json"
+    tracer = Tracer()
+    tracer.epoch = 0.0
+    with tracer._lock:
+        tracer._spans = list(spans)
+    tracer.export_chrome(out)
+    print(f"wrote {out}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "chrome":
+        return _cmd_chrome(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

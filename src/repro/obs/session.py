@@ -1,0 +1,97 @@
+"""One-stop observability bundle: tracer + metrics + resource sampler.
+
+:class:`ObsSession` is what the benchmark harness and the serve CLI create
+when the user passes ``--trace DIR``: entering the session activates its
+tracer for the current context and starts the resource sampler; leaving it
+stops sampling; :meth:`~ObsSession.save` persists the whole picture as four
+sibling artifacts::
+
+    <dir>/<prefix>.jsonl          hierarchical spans, one JSON object/line
+    <dir>/<prefix>_chrome.json    the same trace for chrome://tracing
+    <dir>/<prefix>_metrics.json   MetricsRegistry snapshot
+    <dir>/<prefix>_resources.json resource samples + summary
+
+Examples
+--------
+>>> import tempfile
+>>> from pathlib import Path
+>>> from repro.obs import ObsSession, span
+>>> with ObsSession(sample_resources=False) as session:
+...     with span("fit"):
+...         session.metrics.counter("iterations").inc()
+>>> paths = session.save(tempfile.mkdtemp(), prefix="demo")
+>>> sorted(path.name for path in paths.values())
+['demo.jsonl', 'demo_chrome.json', 'demo_metrics.json']
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.resources import ResourceSampler
+from repro.obs.tracing import Tracer, activate
+
+__all__ = ["ObsSession"]
+
+
+class ObsSession:
+    """Bundle of :class:`~repro.obs.Tracer`, :class:`~repro.obs.MetricsRegistry`
+    and :class:`~repro.obs.ResourceSampler` with one lifecycle.
+
+    Parameters
+    ----------
+    sample_resources:
+        Start the background :class:`~repro.obs.ResourceSampler` while the
+        session is active (default True).
+    resource_interval_s:
+        Sampler poll interval.
+    """
+
+    def __init__(
+        self,
+        *,
+        sample_resources: bool = True,
+        resource_interval_s: float = 0.25,
+    ) -> None:
+        self.tracer = Tracer()
+        self.metrics = MetricsRegistry()
+        self.resources: ResourceSampler | None = (
+            ResourceSampler(resource_interval_s) if sample_resources else None
+        )
+        self._activation = None
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ObsSession":
+        self._activation = activate(self.tracer)
+        self._activation.__enter__()
+        if self.resources is not None:
+            self.resources.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self.resources is not None:
+            self.resources.stop()
+        if self._activation is not None:
+            self._activation.__exit__(*exc_info)
+            self._activation = None
+
+    # ------------------------------------------------------------------
+    def save(self, directory: str | Path, *, prefix: str = "trace") -> dict[str, Path]:
+        """Persist trace, metrics and resource artifacts under ``directory``.
+
+        Returns the written paths keyed by kind (``trace`` / ``chrome`` /
+        ``metrics`` / ``resources``).
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        paths = {
+            "trace": self.tracer.export_jsonl(directory / f"{prefix}.jsonl"),
+            "chrome": self.tracer.export_chrome(directory / f"{prefix}_chrome.json"),
+            "metrics": self.metrics.save(directory / f"{prefix}_metrics.json"),
+        }
+        if self.resources is not None:
+            paths["resources"] = self.resources.save(
+                directory / f"{prefix}_resources.json"
+            )
+        return paths

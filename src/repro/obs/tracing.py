@@ -1,0 +1,361 @@
+"""Hierarchical spans: the tracing half of :mod:`repro.obs`.
+
+A :class:`Span` is one named, timed interval with a parent — together they
+form the call tree of a traced run (a ``fit``, a benchmark suite, a serving
+session).  The :class:`Tracer` hands out spans, tracks the *current* span in
+a :mod:`contextvars` variable so nesting is automatic — including across
+``await`` points and, when a captured :class:`contextvars.Context` is
+carried along (as :class:`repro.serve.MicroBatcher` does), across the
+asyncio-to-thread-pool hop — and collects finished spans thread-safely.
+
+The tracer is *ambient*: components never take a tracer argument.  They call
+the module-level :func:`span` / :func:`set_attributes` helpers, which are
+near-free no-ops until someone activates a tracer::
+
+    >>> from repro.obs import Tracer, activate, span
+    >>> tracer = Tracer()
+    >>> with activate(tracer):
+    ...     with span("fit"):
+    ...         with span("knn", backend="kdtree"):
+    ...             pass
+    >>> [s.name for s in tracer.spans()]
+    ['knn', 'fit']
+    >>> child, root = tracer.spans()
+    >>> child.parent_id == root.span_id
+    True
+
+Exports: newline-delimited JSON (one span per line, replayable with
+:func:`load_spans`) and the Chrome ``about://tracing`` / Perfetto event
+format (:meth:`Tracer.export_chrome`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "activate",
+    "current_span",
+    "current_tracer",
+    "load_spans",
+    "set_attributes",
+    "span",
+]
+
+#: The ambient tracer (None = tracing disabled; every helper is a no-op).
+_ACTIVE_TRACER: ContextVar["Tracer | None"] = ContextVar(
+    "repro_obs_tracer", default=None
+)
+#: The innermost open span of the current context (task / thread).
+_CURRENT_SPAN: ContextVar["Span | None"] = ContextVar(
+    "repro_obs_span", default=None
+)
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) named interval of a trace.
+
+    ``start`` is seconds since the owning tracer's epoch (a monotonic
+    :func:`time.perf_counter` origin captured when the tracer was created),
+    so spans from one tracer are directly comparable and exportable.
+    """
+
+    trace_id: str
+    span_id: int
+    parent_id: int | None
+    name: str
+    start: float
+    duration: float = 0.0
+    thread: str = ""
+    attributes: dict = field(default_factory=dict)
+    _token: object = field(default=None, repr=False, compare=False)
+
+    @property
+    def end(self) -> float:
+        """Seconds since the tracer epoch at which the span finished."""
+        return self.start + self.duration
+
+    def as_dict(self) -> dict:
+        """JSON-ready mapping (one JSONL line)."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "thread": self.thread,
+            "attributes": self.attributes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        """Inverse of :meth:`as_dict`."""
+        return cls(
+            trace_id=str(data["trace_id"]),
+            span_id=int(data["span_id"]),
+            parent_id=(
+                int(data["parent_id"]) if data.get("parent_id") is not None else None
+            ),
+            name=str(data["name"]),
+            start=float(data["start"]),
+            duration=float(data["duration"]),
+            thread=str(data.get("thread", "")),
+            attributes=dict(data.get("attributes", {})),
+        )
+
+
+class Tracer:
+    """Thread-safe producer and collector of hierarchical spans.
+
+    Examples
+    --------
+    >>> tracer = Tracer()
+    >>> with tracer.span("outer") as outer:
+    ...     with tracer.span("inner", detail=1) as inner:
+    ...         pass
+    >>> inner.parent_id == outer.span_id and outer.parent_id is None
+    True
+    >>> inner.attributes
+    {'detail': 1}
+    """
+
+    def __init__(self, trace_id: str | None = None) -> None:
+        self.trace_id = trace_id or os.urandom(8).hex()
+        self.epoch = time.perf_counter()
+        #: Wall-clock time matching ``epoch`` (for humans reading exports).
+        self.epoch_wall = time.time()
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    def begin(self, name: str, attributes: dict | None = None,
+              *, start: float | None = None) -> Span:
+        """Open a span as a child of the context's current span.
+
+        ``start`` (raw :func:`time.perf_counter` seconds) backdates the
+        span; default is now.  The span becomes the context's current span
+        until :meth:`finish` — call both from the same context (the
+        ``with``-style :meth:`span` does this for you).
+        """
+        parent = _CURRENT_SPAN.get()
+        now = time.perf_counter() if start is None else start
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        sp = Span(
+            trace_id=self.trace_id,
+            span_id=span_id,
+            parent_id=parent.span_id if parent is not None else None,
+            name=name,
+            start=now - self.epoch,
+            thread=threading.current_thread().name,
+            attributes=dict(attributes or {}),
+        )
+        sp._token = _CURRENT_SPAN.set(sp)
+        return sp
+
+    def finish(self, span: Span, *, end: float | None = None) -> Span:
+        """Close a span opened with :meth:`begin` and collect it."""
+        now = time.perf_counter() if end is None else end
+        span.duration = max(0.0, now - self.epoch - span.start)
+        if span._token is not None:
+            try:
+                _CURRENT_SPAN.reset(span._token)
+            except ValueError:  # finished from a different context
+                _CURRENT_SPAN.set(None)
+            span._token = None
+        with self._lock:
+            self._spans.append(span)
+        return span
+
+    @contextmanager
+    def span(self, name: str, **attributes):
+        """Context manager: open a child span, close it on exit."""
+        sp = self.begin(name, attributes)
+        try:
+            yield sp
+        finally:
+            self.finish(sp)
+
+    def record(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        attributes: dict | None = None,
+        *,
+        parent: Span | None = None,
+    ) -> Span:
+        """Log an already-measured interval as a completed span.
+
+        ``start`` / ``end`` are raw :func:`time.perf_counter` readings.
+        ``parent`` overrides the context's current span (useful when the
+        interval is attributed to a request whose context is long gone,
+        as the micro-batcher does for queue waits).
+        """
+        if parent is None:
+            parent = _CURRENT_SPAN.get()
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            sp = Span(
+                trace_id=self.trace_id,
+                span_id=span_id,
+                parent_id=parent.span_id if parent is not None else None,
+                name=name,
+                start=start - self.epoch,
+                duration=max(0.0, end - start),
+                thread=threading.current_thread().name,
+                attributes=dict(attributes or {}),
+            )
+            self._spans.append(sp)
+        return sp
+
+    # ------------------------------------------------------------------
+    def spans(self) -> list[Span]:
+        """Snapshot of the finished spans, in completion order."""
+        with self._lock:
+            return list(self._spans)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    # ------------------------------------------------------------------
+    def export_jsonl(self, path: str | Path) -> Path:
+        """Write one JSON object per span (ordered by start time)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        ordered = sorted(self.spans(), key=lambda s: s.start)
+        with path.open("w") as fh:
+            for sp in ordered:
+                fh.write(json.dumps(sp.as_dict(), sort_keys=True) + "\n")
+        return path
+
+    def export_chrome(self, path: str | Path) -> Path:
+        """Write the Chrome ``about://tracing`` / Perfetto event format.
+
+        Load the result via ``chrome://tracing`` or https://ui.perfetto.dev
+        — complete events (``"ph": "X"``) with microsecond timestamps, one
+        row per thread name.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tids: dict[str, int] = {}
+        events = []
+        for sp in sorted(self.spans(), key=lambda s: s.start):
+            tid = tids.setdefault(sp.thread, len(tids) + 1)
+            events.append(
+                {
+                    "name": sp.name,
+                    "ph": "X",
+                    "ts": sp.start * 1e6,
+                    "dur": sp.duration * 1e6,
+                    "pid": 1,
+                    "tid": tid,
+                    "args": sp.attributes,
+                }
+            )
+        for thread, tid in tids.items():
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": tid,
+                    "args": {"name": thread or f"thread-{tid}"},
+                }
+            )
+        path.write_text(json.dumps({"traceEvents": events}, indent=1) + "\n")
+        return path
+
+
+def load_spans(path: str | Path) -> list[Span]:
+    """Read spans back from a JSONL trace written by :meth:`Tracer.export_jsonl`.
+
+    Examples
+    --------
+    >>> import tempfile, os
+    >>> from repro.obs import Tracer, load_spans
+    >>> tracer = Tracer()
+    >>> with tracer.span("fit"):
+    ...     pass
+    >>> path = os.path.join(tempfile.mkdtemp(), "trace.jsonl")
+    >>> _ = tracer.export_jsonl(path)
+    >>> [s.name for s in load_spans(path)]
+    ['fit']
+    """
+    spans = []
+    with Path(path).open() as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                spans.append(Span.from_dict(json.loads(line)))
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                raise ValueError(f"{path}:{line_no}: not a span record ({exc})")
+    return spans
+
+
+# ----------------------------------------------------------------------
+# Ambient-tracer helpers (the integration surface the rest of repro uses)
+# ----------------------------------------------------------------------
+def current_tracer() -> Tracer | None:
+    """The tracer activated in this context, or ``None`` (tracing off)."""
+    return _ACTIVE_TRACER.get()
+
+
+def current_span() -> Span | None:
+    """The innermost open span of this context, or ``None``."""
+    return _CURRENT_SPAN.get()
+
+
+@contextmanager
+def activate(tracer: Tracer | None):
+    """Make ``tracer`` the ambient tracer for the duration of the block."""
+    token = _ACTIVE_TRACER.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _ACTIVE_TRACER.reset(token)
+
+
+@contextmanager
+def span(name: str, **attributes):
+    """Open a span on the ambient tracer; a cheap no-op when tracing is off.
+
+    Examples
+    --------
+    >>> from repro.obs import span
+    >>> with span("untraced"):      # no active tracer: nothing recorded
+    ...     pass
+    """
+    tracer = _ACTIVE_TRACER.get()
+    if tracer is None:
+        yield None
+        return
+    sp = tracer.begin(name, attributes)
+    try:
+        yield sp
+    finally:
+        tracer.finish(sp)
+
+
+def set_attributes(**attributes) -> None:
+    """Attach attributes to the innermost open span (no-op when untraced)."""
+    sp = _CURRENT_SPAN.get()
+    if sp is not None:
+        sp.attributes.update(attributes)

@@ -15,15 +15,34 @@ their individual results — the batching is invisible except in throughput.
 The handler runs in an executor (default: a thread pool — the batched
 numpy/BLAS/SuperLU work releases the GIL), keeping the event loop free to
 keep accepting and coalescing requests while a batch computes.
+
+Observability (:mod:`repro.obs`) is built in:
+
+* every batch feeds fixed-bucket **histograms** on the batcher's
+  :class:`~repro.obs.MetricsRegistry` — ``batcher.queue_wait_ms`` (submit
+  to flush), ``batcher.pool_wait_ms`` (flush to handler start, i.e. the
+  executor hop), ``batcher.execute_ms`` (handler run), ``batcher.latency_ms``
+  (submit to result) and ``batcher.batch_size`` — plus per-key-label copies
+  (``batcher.<label>.*``) when a ``key_label`` callable is given;
+* under an active :class:`~repro.obs.Tracer`, the handler runs inside a
+  ``batch.execute`` span and each request gets a ``batch.request`` span
+  parented to the *submitter's* span.  ``run_in_executor`` does not carry
+  :mod:`contextvars` across the thread hop, so the batcher captures the
+  flush-time :class:`contextvars.Context` and runs the handler inside it.
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import time
+import warnings
 from concurrent.futures import Executor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Sequence
+
+from repro.obs.metrics import DEFAULT_SIZE_BUCKETS, MetricsRegistry
+from repro.obs.tracing import current_span, current_tracer, span as obs_span
 
 __all__ = ["BatchStats", "MicroBatcher", "latency_percentiles_ms"]
 
@@ -33,8 +52,8 @@ def latency_percentiles_ms(latencies: Sequence[float]) -> tuple[float, float]:
 
     Nearest-rank: the p-th percentile is the ``ceil(p * n)``-th smallest
     sample (1-indexed), so p99 of 100 samples is the 99th value — the
-    second largest — not the maximum.  Shared by the batcher stats and the
-    serve benchmark so the two can never disagree on the definition.
+    second largest — not the maximum.  Shared by the serve benchmark's
+    end-to-end latency summaries.
 
     Examples
     --------
@@ -53,7 +72,13 @@ def latency_percentiles_ms(latencies: Sequence[float]) -> tuple[float, float]:
 
 @dataclass
 class BatchStats:
-    """Counters describing how requests were coalesced."""
+    """Counters describing how requests were coalesced.
+
+    Latency distributions live in the attached
+    :class:`~repro.obs.MetricsRegistry` (``metrics``) as fixed-bucket
+    histograms; :meth:`as_dict` surfaces their p50/p99 under the same keys
+    the old per-sample list produced, so downstream consumers are unchanged.
+    """
 
     n_requests: int = 0
     n_batches: int = 0
@@ -61,8 +86,22 @@ class BatchStats:
     n_deadline_flushes: int = 0
     max_batch_size: int = 0
     batch_seconds: float = 0.0
-    #: Per-request latencies (submit -> result), seconds.  Kept bounded.
-    latencies: list[float] = field(default_factory=list)
+    #: Registry holding the ``batcher.*`` histograms backing :meth:`as_dict`.
+    metrics: MetricsRegistry | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def latencies(self) -> list[float]:
+        """Deprecated: per-sample latency storage was replaced by the
+        ``batcher.latency_ms`` histogram on :attr:`metrics`."""
+        warnings.warn(
+            "BatchStats.latencies is deprecated; read the 'batcher.latency_ms' "
+            "histogram from BatchStats.metrics instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return []
 
     @property
     def mean_batch_size(self) -> float:
@@ -91,18 +130,30 @@ class BatchStats:
             "max_batch_size": self.max_batch_size,
             "batch_seconds": self.batch_seconds,
         }
-        if self.latencies:
-            out["p50_ms"], out["p99_ms"] = latency_percentiles_ms(self.latencies)
+        if self.metrics is not None:
+            snap = self.metrics.snapshot()["histograms"]
+            latency = snap.get("batcher.latency_ms")
+            if latency and latency["count"]:
+                out["p50_ms"] = latency["p50"]
+                out["p99_ms"] = latency["p99"]
+            for stage in ("queue_wait", "pool_wait", "execute"):
+                hist = snap.get(f"batcher.{stage}_ms")
+                if hist and hist["count"]:
+                    out[f"{stage}_mean_ms"] = hist["mean"]
+                    out[f"{stage}_p99_ms"] = hist["p99"]
         return out
 
 
 class _Pending:
-    __slots__ = ("payloads", "futures", "submitted", "timer")
+    __slots__ = ("payloads", "futures", "submitted", "parents", "timer")
 
     def __init__(self) -> None:
         self.payloads: list[Any] = []
         self.futures: list[asyncio.Future] = []
         self.submitted: list[float] = []
+        #: ``(tracer, span)`` captured at submit time, per request, so the
+        #: per-request ``batch.request`` span lands under the caller's span.
+        self.parents: list[tuple[Any, Any]] = []
         self.timer: asyncio.TimerHandle | None = None
 
 
@@ -124,8 +175,18 @@ class MicroBatcher:
     executor:
         Where handler batches run; ``None`` uses the loop's default
         thread pool.
+    metrics:
+        :class:`~repro.obs.MetricsRegistry` receiving the ``batcher.*``
+        instruments; ``None`` creates a private one (always available as
+        ``self.metrics``).
+    key_label:
+        Optional ``key -> str`` mapping a batch key to a short label; when
+        given, per-label histogram copies (``batcher.<label>.*``) are
+        recorded alongside the aggregate ones, so e.g. ``resistance`` and
+        ``labels`` latencies stay distinguishable.
     max_recorded_latencies:
-        Cap on the per-request latency samples kept for percentile stats.
+        Deprecated and ignored — latencies feed a fixed-bucket histogram
+        with O(1) memory, so there is nothing left to cap.
 
     Examples
     --------
@@ -149,20 +210,30 @@ class MicroBatcher:
         max_batch_size: int = 64,
         max_delay_s: float = 0.002,
         executor: Executor | None = None,
-        max_recorded_latencies: int = 100_000,
+        metrics: MetricsRegistry | None = None,
+        key_label: Callable[[Hashable], str] | None = None,
+        max_recorded_latencies: int | None = None,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be at least 1")
         if max_delay_s < 0:
             raise ValueError("max_delay_s must be non-negative")
+        if max_recorded_latencies is not None:
+            warnings.warn(
+                "max_recorded_latencies is deprecated and ignored; latencies "
+                "feed a bounded-memory histogram on MicroBatcher.metrics",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self._handler = handler
         self.max_batch_size = int(max_batch_size)
         self.max_delay_s = float(max_delay_s)
         self._executor = executor
         self._pending: dict[Hashable, _Pending] = {}
         self._inflight: set[asyncio.Task] = set()
-        self._max_recorded = int(max_recorded_latencies)
-        self.stats = BatchStats()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._key_label = key_label
+        self.stats = BatchStats(metrics=self.metrics)
 
     # ------------------------------------------------------------------
     async def submit(self, key: Hashable, payload: Any) -> Any:
@@ -175,6 +246,7 @@ class MicroBatcher:
         bucket.payloads.append(payload)
         bucket.futures.append(future)
         bucket.submitted.append(time.perf_counter())
+        bucket.parents.append((current_tracer(), current_span()))
         if len(bucket.payloads) >= self.max_batch_size:
             self._flush(key, full=True)
         elif bucket.timer is None:
@@ -195,12 +267,35 @@ class MicroBatcher:
         self._inflight.add(task)
         task.add_done_callback(self._inflight.discard)
 
+    def _dispatch(self, key: Hashable, payloads: list) -> tuple:
+        """Run the handler on the worker thread, timing its actual window.
+
+        Invoked through a :class:`contextvars.Context` captured at flush
+        time, so the ambient tracer — which ``run_in_executor`` would drop —
+        is live here and the ``batch.execute`` span nests where it belongs.
+        """
+        started = time.perf_counter()
+        with obs_span(
+            "batch.execute", batch_size=len(payloads), key=self._label(key)
+        ):
+            results = self._handler(key, payloads)
+        return results, started, time.perf_counter()
+
+    def _label(self, key: Hashable) -> str:
+        if self._key_label is not None:
+            try:
+                return str(self._key_label(key))
+            except Exception:  # labels are best-effort; never fail a batch
+                return "unknown"
+        return str(key)
+
     async def _run_batch(self, key: Hashable, bucket: _Pending, full: bool) -> None:
         loop = asyncio.get_running_loop()
-        start = time.perf_counter()
+        flushed = time.perf_counter()
+        context = contextvars.copy_context()
         try:
-            results = await loop.run_in_executor(
-                self._executor, self._handler, key, bucket.payloads
+            results, started, executed = await loop.run_in_executor(
+                self._executor, context.run, self._dispatch, key, bucket.payloads
             )
             if len(results) != len(bucket.payloads):
                 raise RuntimeError(
@@ -214,13 +309,56 @@ class MicroBatcher:
             return
         finished = time.perf_counter()
         self.stats.record_batch(
-            len(bucket.payloads), finished - start, full=full
+            len(bucket.payloads), finished - flushed, full=full
         )
-        if len(self.stats.latencies) < self._max_recorded:
-            self.stats.latencies.extend(finished - t for t in bucket.submitted)
+        self._observe(key, bucket, flushed, started, executed, finished)
         for future, result in zip(bucket.futures, results):
             if not future.done():
                 future.set_result(result)
+
+    def _observe(
+        self,
+        key: Hashable,
+        bucket: _Pending,
+        flushed: float,
+        started: float,
+        executed: float,
+        finished: float,
+    ) -> None:
+        """Feed the batch's timing breakdown into metrics and the trace."""
+        label = self._label(key) if self._key_label is not None else None
+        prefixes = ["batcher"] if label is None else ["batcher", f"batcher.{label}"]
+        size = len(bucket.payloads)
+        for prefix in prefixes:
+            hist = self.metrics.histogram
+            hist(f"{prefix}.pool_wait_ms").observe(1e3 * (started - flushed))
+            hist(f"{prefix}.execute_ms").observe(1e3 * (executed - started))
+            hist(
+                f"{prefix}.batch_size", buckets=DEFAULT_SIZE_BUCKETS
+            ).observe(size)
+            queue_wait = hist(f"{prefix}.queue_wait_ms")
+            latency = hist(f"{prefix}.latency_ms")
+            for submitted in bucket.submitted:
+                queue_wait.observe(1e3 * (flushed - submitted))
+                latency.observe(1e3 * (finished - submitted))
+        self.metrics.counter("batcher.requests").inc(size)
+        self.metrics.counter("batcher.batches").inc()
+        for submitted, (tracer, parent) in zip(bucket.submitted, bucket.parents):
+            if tracer is None:
+                continue
+            tracer.record(
+                "batch.request",
+                submitted,
+                finished,
+                {
+                    "key": label if label is not None else str(key),
+                    "batch_size": size,
+                    "queue_wait_ms": round(1e3 * (flushed - submitted), 4),
+                    "pool_wait_ms": round(1e3 * (started - flushed), 4),
+                    "execute_ms": round(1e3 * (executed - started), 4),
+                },
+                parent=parent,
+            )
 
     async def drain(self) -> None:
         """Flush every pending bucket and wait for all in-flight batches."""

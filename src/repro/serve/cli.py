@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.artifacts.store import ArtifactFormatError
 from repro.metrics.resistance import sample_node_pairs
+from repro.obs import ObsSession
 from repro.serve.service import GraphService, serve_forever
 
 __all__ = ["main", "build_parser"]
@@ -74,6 +75,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="seed for --random-pairs")
     p_query.add_argument("--summary", action="store_true",
                          help="print throughput/latency summary instead of values")
+    p_query.add_argument("--explain", action="store_true",
+                         help="trace the run and print a per-query timing "
+                         "breakdown (queue wait / pool wait / execute)")
+    p_query.add_argument("--trace", default=None, metavar="DIR",
+                         help="write trace + metrics artifacts into DIR")
 
     p_serve = sub.add_parser("serve", help="run the JSON-lines TCP server")
     p_serve.add_argument("--artifact", action="append", default=None,
@@ -86,6 +92,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--max-delay-ms", type=float, default=2.0)
     p_serve.add_argument("--workers", type=int, default=2,
                          help="solver worker threads (default 2)")
+    p_serve.add_argument("--trace", default=None, metavar="DIR",
+                         help="trace the server's lifetime; write trace + "
+                         "metrics artifacts into DIR on shutdown")
     return parser
 
 
@@ -121,10 +130,55 @@ def _cmd_warm(args) -> int:
     return 0
 
 
+def _explain_lines(spans) -> list[str]:
+    """Per-query timing table from the ``query`` spans of an explain trace.
+
+    Each client-side ``query`` span owns one ``batch.request`` child whose
+    attributes carry the batcher's breakdown of that request's lifetime.
+    """
+    rows = []
+    children = {}
+    for span in spans:
+        if span.name == "batch.request" and span.parent_id is not None:
+            children[span.parent_id] = span
+    for span in spans:
+        if span.name != "query":
+            continue
+        req = children.get(span.span_id)
+        attrs = req.attributes if req is not None else {}
+        rows.append((
+            span.attributes.get("index", -1),
+            str(span.attributes.get("payload", "?")),
+            1e3 * span.duration,
+            attrs.get("queue_wait_ms", float("nan")),
+            attrs.get("pool_wait_ms", float("nan")),
+            attrs.get("execute_ms", float("nan")),
+            attrs.get("batch_size", 0),
+        ))
+    rows.sort()
+    width = max([len(r[1]) for r in rows] + [7])
+    lines = [
+        f"{'payload':<{width}}  {'latency_ms':>10}  {'queue_ms':>9}  "
+        f"{'pool_ms':>8}  {'exec_ms':>8}  {'batch':>5}"
+    ]
+    for _, payload, latency, queue, pool, execute, batch in rows:
+        lines.append(
+            f"{payload:<{width}}  {latency:>10.3f}  {queue:>9.3f}  "
+            f"{pool:>8.3f}  {execute:>8.3f}  {batch:>5d}"
+        )
+    return lines
+
+
 def _cmd_query(args) -> int:
+    obs = (
+        ObsSession(sample_resources=False)
+        if (args.explain or args.trace)
+        else None
+    )
     service = GraphService(
         max_batch_size=args.batch_size,
         max_delay_s=args.max_delay_ms / 1e3,
+        metrics=obs.metrics if obs is not None else None,
     )
     try:
         session = service.warm(args.artifact)
@@ -155,18 +209,28 @@ def _cmd_query(args) -> int:
             {"k": args.k} if args.kind == "neighbors" else {"n_clusters": args.clusters}
         )
 
+    async def one(index: int, payload):
+        # Each asyncio task runs in its own context copy, so the per-query
+        # span nests correctly even though the queries run concurrently;
+        # the batcher parents its batch.request span under this one.
+        if obs is not None:
+            with obs.tracer.span("query", index=index, payload=str(payload)):
+                return await service.query(args.artifact, args.kind, payload, **options)
+        return await service.query(args.artifact, args.kind, payload, **options)
+
     async def run():
         start = time.perf_counter()
         results = await asyncio.gather(
-            *(
-                service.query(args.artifact, args.kind, payload, **options)
-                for payload in payloads
-            )
+            *(one(i, payload) for i, payload in enumerate(payloads))
         )
         await service.drain()
         return results, time.perf_counter() - start
 
-    results, elapsed = asyncio.run(run())
+    if obs is not None:
+        with obs:
+            results, elapsed = asyncio.run(run())
+    else:
+        results, elapsed = asyncio.run(run())
     if args.summary:
         batching = service.stats()["batching"]
         summary = {
@@ -180,16 +244,25 @@ def _cmd_query(args) -> int:
     else:
         for payload, result in zip(payloads, results):
             print(f"{payload}\t{result}")
+    if args.explain:
+        print()
+        for line in _explain_lines(obs.tracer.spans()):
+            print(line)
+    if args.trace:
+        paths = obs.save(args.trace, prefix=f"query_{args.kind}")
+        print(f"\ntrace artifacts: {', '.join(str(p) for p in paths.values())}")
     service.close()
     return 0
 
 
 def _cmd_serve(args) -> int:
+    obs = ObsSession() if args.trace else None
     service = GraphService(
         max_sessions=args.max_sessions,
         max_batch_size=args.batch_size,
         max_delay_s=args.max_delay_ms / 1e3,
         max_workers=args.workers,
+        metrics=obs.metrics if obs is not None else None,
     )
     for path in args.artifact or ():
         try:
@@ -198,11 +271,17 @@ def _cmd_serve(args) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         print(f"warmed {path}: N={session.n_nodes}, |E|={session.graph.n_edges}")
+    if obs is not None:
+        obs.__enter__()
     try:
         asyncio.run(serve_forever(service, args.host, args.port))
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
         print("shutting down")
     finally:
+        if obs is not None:
+            obs.__exit__(None, None, None)
+            paths = obs.save(args.trace, prefix="serve")
+            print(f"trace artifacts: {', '.join(str(p) for p in paths.values())}")
         service.close()
     return 0
 

@@ -33,6 +33,7 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
@@ -40,6 +41,8 @@ from pathlib import Path
 import numpy as np
 
 from repro.artifacts.store import load_result
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import span as obs_span
 from repro.serve.batching import MicroBatcher
 from repro.serve.session import GraphSession
 
@@ -64,6 +67,11 @@ class GraphService:
     session_options:
         Extra keyword arguments for every :class:`~repro.serve.GraphSession`
         (e.g. ``knn_backend``, ``resistance_block``).
+    metrics:
+        :class:`~repro.obs.MetricsRegistry` the service (and its batcher)
+        records into; ``None`` creates a private one.  Always available as
+        ``service.metrics``; a snapshot rides along in :meth:`stats`, so
+        the TCP ``stats`` request exposes it remotely.
 
     Examples
     --------
@@ -96,6 +104,7 @@ class GraphService:
         max_delay_s: float = 0.002,
         max_workers: int = 2,
         session_options: dict | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if max_sessions < 1:
             raise ValueError("max_sessions must be at least 1")
@@ -110,11 +119,16 @@ class GraphService:
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-serve"
         )
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._batcher = MicroBatcher(
             self._run_batch,
             max_batch_size=max_batch_size,
             max_delay_s=max_delay_s,
             executor=self._executor,
+            metrics=self.metrics,
+            # Batch keys are (checksum, kind, options); the query kind is
+            # the natural per-histogram label (batcher.resistance.*, ...).
+            key_label=lambda key: key[1],
         )
         self._evictions = 0
         self._loads = 0
@@ -148,11 +162,18 @@ class GraphService:
             self._sessions[artifact.checksum] = session
             self._path_keys[path] = artifact.checksum
             self._loads += 1
+            evicted = 0
             while len(self._sessions) > self._max_sessions:
                 evicted_key, _ = self._sessions.popitem(last=False)
                 for p in [p for p, c in self._path_keys.items() if c == evicted_key]:
                     del self._path_keys[p]
                 self._evictions += 1
+                evicted += 1
+            loaded = len(self._sessions)
+        self.metrics.counter("serve.cache.loads").inc()
+        if evicted:
+            self.metrics.counter("serve.cache.evictions").inc(evicted)
+        self.metrics.gauge("serve.cache.sessions").set(loaded)
         return session
 
     def _cache_hit(self, checksum: str, *, remember_path: str | None = None):
@@ -201,8 +222,11 @@ class GraphService:
         if session is None:
             # Cache miss: loading + factorising a model can take seconds on
             # large graphs — do it on the worker pool, not the event loop.
+            self.metrics.counter("serve.cache.misses").inc()
             loop = asyncio.get_running_loop()
             session = await loop.run_in_executor(self._executor, self.session, path)
+        else:
+            self.metrics.counter("serve.cache.hits").inc()
         key = (session.checksum, kind, tuple(sorted(options.items())))
         return await self._batcher.submit(key, (session, payload))
 
@@ -213,16 +237,28 @@ class GraphService:
         values = [payload for _, payload in payloads]
         if kind == "resistance":
             pairs = np.asarray(values, dtype=np.int64).reshape(-1, 2)
-            return session.effective_resistance(pairs).tolist()
-        if kind == "neighbors":
+            raw = session.effective_resistance(pairs)
+            convert = raw.tolist
+        elif kind == "neighbors":
             nodes = np.asarray(values, dtype=np.int64)
             _, indices = session.nearest_neighbors(nodes, k=options.get("k", 5))
-            return [row.tolist() for row in indices]
-        nodes = np.asarray(values, dtype=np.int64)
-        labels = session.cluster_labels(
-            nodes, n_clusters=options.get("n_clusters", 8)
+            convert = lambda: [row.tolist() for row in indices]  # noqa: E731
+        else:
+            nodes = np.asarray(values, dtype=np.int64)
+            labels = session.cluster_labels(
+                nodes, n_clusters=options.get("n_clusters", 8)
+            )
+            convert = lambda: [int(label) for label in labels]  # noqa: E731
+        # The numpy -> JSON-ready conversion is the "serialize" share of a
+        # batch; split it out so traced runs can attribute it separately
+        # from the solve itself.
+        start = time.perf_counter()
+        with obs_span("serialize", kind=kind, batch_size=len(values)):
+            out = convert()
+        self.metrics.histogram("serve.serialize_ms").observe(
+            1e3 * (time.perf_counter() - start)
         )
-        return [int(label) for label in labels]
+        return out
 
     async def drain(self) -> None:
         """Flush pending batches and wait for in-flight work."""
@@ -250,6 +286,7 @@ class GraphService:
             "per_session": {
                 checksum: session.stats() for checksum, session in sessions.items()
             },
+            "metrics": self.metrics.snapshot(),
         }
 
 
@@ -324,7 +361,13 @@ async def _client_connected(
                 response = {"ok": False, "error": str(exc)}
             if request is not None and "id" in request:
                 response["id"] = request["id"]
-            writer.write(json.dumps(response).encode("utf-8") + b"\n")
+            encode_start = time.perf_counter()
+            encoded = json.dumps(response).encode("utf-8") + b"\n"
+            service.metrics.histogram("serve.tcp.serialize_ms").observe(
+                1e3 * (time.perf_counter() - encode_start)
+            )
+            service.metrics.counter("serve.tcp.requests").inc()
+            writer.write(encoded)
             await writer.drain()
     finally:
         writer.close()

@@ -420,6 +420,14 @@ class TestTCPServer:
         np.testing.assert_allclose(ok["result"], expected, rtol=1e-8)
         assert nbr["ok"] and len(nbr["result"][0]) == 2
         assert stats["ok"] and stats["result"]["sessions"]["loaded"] == 1
+        # The stats response carries a live metrics snapshot: the two query
+        # requests above already went through the batcher and the TCP
+        # serializer by the time the stats request is answered.
+        snapshot = stats["result"]["metrics"]
+        assert snapshot["counters"]["serve.tcp.requests"] >= 2
+        assert snapshot["counters"]["batcher.requests"] >= 3
+        assert snapshot["histograms"]["batcher.latency_ms"]["count"] >= 3
+        assert snapshot["histograms"]["batcher.resistance.latency_ms"]["count"] == 2
         assert warm["ok"] and warm["result"]["n_nodes"] == 49
         assert not bad["ok"] and "unknown request kind" in bad["error"]
         assert not not_json["ok"]
@@ -481,3 +489,27 @@ class TestServeCLI:
                 "query", "--artifact", str(artifact_path),
                 "--kind", "resistance", "--pairs", "zero:one",
             ])
+
+    def test_query_explain_and_trace(self, artifact_path, tmp_path, capsys):
+        trace_dir = tmp_path / "traces"
+        code = serve_main([
+            "query", "--artifact", str(artifact_path),
+            "--kind", "resistance", "--pairs", "0:48,3:9",
+            "--explain", "--trace", str(trace_dir),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        # One breakdown row per query, with the batcher's stage columns.
+        assert "queue_ms" in out and "exec_ms" in out
+        assert "(0, 48)" in out and "(3, 9)" in out
+        trace_path = trace_dir / "query_resistance.jsonl"
+        assert trace_path.exists()
+        from repro.obs import load_spans
+
+        spans = load_spans(trace_path)
+        names = {span.name for span in spans}
+        assert {"query", "batch.request", "batch.execute", "serialize"} <= names
+        queries = [span for span in spans if span.name == "query"]
+        assert len(queries) == 2
+        metrics = json.loads((trace_dir / "query_resistance_metrics.json").read_text())
+        assert metrics["histograms"]["batcher.resistance.latency_ms"]["count"] == 2
