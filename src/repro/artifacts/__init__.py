@@ -13,8 +13,19 @@ Entry points:
 * :func:`load_result` — validated load (schema version, dtypes, canonical
   edge form, SHA-256 payload checksum) returning a :class:`ModelArtifact`;
 * :func:`artifact_checksum` — the stored identity key without a full load.
+* :func:`save_sharded_result` / :func:`load_sharded_result` — a partition-
+  parallel model as a directory of per-shard artifacts plus a boundary file,
+  all under a checksummed ``manifest.json`` (:mod:`repro.artifacts.sharded`).
 """
 
+from repro.artifacts.sharded import (
+    MANIFEST_SCHEMA,
+    MANIFEST_VERSION,
+    ShardManifestError,
+    ShardedModelArtifact,
+    load_sharded_result,
+    save_sharded_result,
+)
 from repro.artifacts.store import (
     ARTIFACT_SCHEMA,
     ARTIFACT_VERSION,
@@ -30,11 +41,17 @@ from repro.artifacts.store import (
 __all__ = [
     "ARTIFACT_SCHEMA",
     "ARTIFACT_VERSION",
+    "MANIFEST_SCHEMA",
+    "MANIFEST_VERSION",
     "ArtifactFormatError",
     "ModelArtifact",
+    "ShardManifestError",
+    "ShardedModelArtifact",
     "artifact_checksum",
     "load_result",
+    "load_sharded_result",
     "payload_checksum",
     "save_artifact",
     "save_result",
+    "save_sharded_result",
 ]

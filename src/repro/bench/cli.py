@@ -20,6 +20,11 @@ pool is safe — records come back in scenario order either way)::
 
     python -m repro.bench run --suite paper --jobs 4 --out BENCH_paper.json
 
+Fit the million-node tier with the partition-parallel engine (--jobs
+becomes the shard-pool width; scenarios run one at a time)::
+
+    python -m repro.bench run --suite huge --engine sharded --parts 16 --jobs 4
+
 Benchmark the serving stack (learn, persist, reload, then answer the same
 query set naive / batched / through the asyncio service)::
 
@@ -92,12 +97,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_run.add_argument(
         "--engine",
-        choices=("stateless", "incremental", "multilevel"),
+        choices=("stateless", "incremental", "multilevel", "sharded"),
         default=None,
         help="override SGLConfig.embedding_engine for every scenario "
         "(A/B the warm-started incremental engine and the multilevel "
         "coarsen-solve-refine engine against the recompute-from-scratch "
-        "path; default: scenario settings)",
+        "path; 'sharded' selects the partition-parallel ShardedSGLearner "
+        "with --parts shards — per-shard embedding engines follow the "
+        "scenario settings, and --jobs workers fit shards concurrently; "
+        "default: scenario settings)",
+    )
+    p_run.add_argument(
+        "--parts",
+        type=int,
+        default=4,
+        metavar="N",
+        help="shards for --engine sharded (default 4; ignored otherwise)",
     )
     p_run.add_argument(
         "--knn-backend",
@@ -227,8 +242,21 @@ def _cmd_run(args) -> int:
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
+    # --engine sharded is a learner selection, not an SGLConfig value: the
+    # scenarios keep their per-shard embedding engines and --jobs moves
+    # from the scenario pool to the shard pool.
+    sharded_parts = None
+    shard_jobs = 1
+    suite_jobs = args.jobs
+    if args.engine == "sharded":
+        if args.parts < 1:
+            print("error: --parts must be at least 1", file=sys.stderr)
+            return 2
+        sharded_parts = args.parts
+        shard_jobs = args.jobs
+        suite_jobs = 1
     sgl_overrides = {}
-    if args.engine is not None:
+    if args.engine is not None and args.engine != "sharded":
         sgl_overrides["embedding_engine"] = args.engine
     if args.knn_backend is not None:
         sgl_overrides["knn_backend"] = args.knn_backend
@@ -281,7 +309,9 @@ def _cmd_run(args) -> int:
         n_quality_pairs=args.quality_pairs,
         profile_dir=profile_dir,
         trace_dir=args.trace,
-        jobs=args.jobs,
+        jobs=suite_jobs,
+        sharded_parts=sharded_parts,
+        shard_jobs=shard_jobs,
         progress=progress,
     )
     elapsed = time.perf_counter() - start
@@ -298,6 +328,7 @@ def _cmd_run(args) -> int:
             "track_memory": not args.no_memory,
             "quality_pairs": args.quality_pairs,
             "embedding_engine": args.engine,
+            "sharded_parts": sharded_parts,
             "knn_backend": args.knn_backend,
             "profile": str(profile_dir) if profile_dir is not None else None,
             "trace": args.trace,

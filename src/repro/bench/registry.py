@@ -19,6 +19,12 @@ grouped into *suites*:
     The paper's five structural classes at the paper's node counts
     (10k-150k nodes; Table of Sec. III-A).  Long-running and therefore
     opt-in: it is only executed via ``repro.bench run --suite paper``.
+``huge``
+    Million-node instances (grid / circuit / geometric) beyond the paper's
+    scale, intended for the partition-parallel engine
+    (``repro.bench run --suite huge --engine sharded --parts N``), plus a
+    ~100k-node smoke variant the CI sharded job runs.  Opt-in like
+    ``paper``.
 
 The registry is *declarative*: a :class:`ScenarioSpec` stores only JSON-ready
 builder parameters, never live graph objects, so specs can be embedded in
@@ -104,8 +110,8 @@ class ScenarioSpec:
     family:
         Key into :data:`FAMILIES` selecting the graph builder.
     tier:
-        Scale tier label (``tiny`` / ``small`` / ``medium`` / ``paper``;
-        see DESIGN.md).
+        Scale tier label (``tiny`` / ``small`` / ``medium`` / ``paper`` /
+        ``huge``; see DESIGN.md).
     params:
         Keyword arguments for the family builder (JSON-ready scalars only).
     n_measurements:
@@ -189,6 +195,7 @@ _TIER_PARAMS: dict[str, dict[str, dict]] = {
         "small": {"n_rows": 40},
         "medium": {"n_rows": 70},
         "paper": {"n_rows": 100},
+        "huge": {"n_rows": 1024},
     },
     "grid_3d": {
         "tiny": {"nx": 7, "ny": 7, "nz": 5},
@@ -200,6 +207,7 @@ _TIER_PARAMS: dict[str, dict[str, dict]] = {
         "small": {"n_rows": 40, "seed": 4},
         "medium": {"n_rows": 70, "seed": 4},
         "paper": {"n_rows": 388, "seed": 4},
+        "huge": {"n_rows": 1024, "seed": 4},
     },
     "airfoil": {
         "tiny": {"n_points": 260, "seed": 1},
@@ -233,6 +241,7 @@ _TIER_PARAMS: dict[str, dict[str, dict]] = {
         "tiny": {"n_nodes": 250, "seed": 7},
         "small": {"n_nodes": 1600, "seed": 7},
         "medium": {"n_nodes": 4000, "seed": 7},
+        "huge": {"n_nodes": 1_000_000, "radius": 0.0024, "seed": 7},
     },
     "knn_cloud": {
         "tiny": {"n_points": 250, "seed": 8},
@@ -284,6 +293,15 @@ def _populate_default_registry() -> None:
         "erdos_renyi",
         "knn_cloud",
     )
+    # Million-node scenarios need a bounded workload: few measurements, the
+    # multilevel engine, a handful of densification rounds.  The per-shard
+    # fits of the sharded engine inherit these too.
+    huge_sgl = {
+        "embedding_engine": "multilevel",
+        "r": 6,
+        "max_iterations": 4,
+        "beta": 2e-3,
+    }
     for family, tiers in _TIER_PARAMS.items():
         for tier, params in tiers.items():
             suites = []
@@ -291,17 +309,21 @@ def _populate_default_registry() -> None:
                 suites.append("smoke")
             if tier == "small":
                 suites.append("full")
-            if family in ("grid_2d", "circuit") and tier != "paper":
+            if family in ("grid_2d", "circuit") and tier not in ("paper", "huge"):
                 suites.append("scaling")
             if tier == "paper":
                 # Opt-in long-running suite at the paper's node counts.
                 suites.append("paper")
+            if tier == "huge":
+                suites.append("huge")
             register_scenario(
                 ScenarioSpec(
                     name=f"{family}/{tier}",
                     family=family,
                     tier=tier,
                     params=params,
+                    n_measurements=8 if tier == "huge" else 50,
+                    sgl=dict(huge_sgl) if tier == "huge" else {},
                     description=f"{_FAMILY_BLURB[family]}, {tier} tier",
                 ),
                 suites=suites,
@@ -329,6 +351,18 @@ def _populate_default_registry() -> None:
             description="small 2-D grid with 5% multiplicative voltage noise",
         ),
         suites=("full",),
+    )
+    register_scenario(
+        ScenarioSpec(
+            name="grid_2d/huge+smoke100k",
+            family="grid_2d",
+            tier="huge",
+            params={"n_rows": 316},
+            n_measurements=12,
+            sgl=dict(huge_sgl),
+            description="~100k-node 2-D grid: the CI-sized sharded-engine smoke",
+        ),
+        suites=("huge",),
     )
     register_scenario(
         ScenarioSpec(

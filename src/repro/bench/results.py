@@ -313,6 +313,12 @@ def compare(
         ):
             base_val = base.get("info", {}).get(info_key)
             cand_val = cand.get("info", {}).get(info_key)
+            if info_key == "engine_fallbacks":
+                # Pre-PR 6 artifacts never recorded fallback counts; an
+                # absent value means "none observed", not a provenance
+                # change — treat it as zero on either side.
+                base_val = int(base_val or 0)
+                cand_val = int(cand_val or 0)
             if base_val is not None and cand_val is not None and base_val != cand_val:
                 report.notes.append(
                     f"{scenario} ({method}): {label} changed "

@@ -173,12 +173,30 @@ def quality_metrics(
     }
 
 
+def _make_learner(
+    spec: ScenarioSpec,
+    n_nodes: int,
+    *,
+    sharded_parts: int | None = None,
+    shard_jobs: int = 1,
+):
+    """The scenario's learner: serial, or partition-parallel when requested."""
+    config = spec.make_config(n_nodes)
+    if sharded_parts is not None:
+        from repro.partition import ShardedSGLearner
+
+        return ShardedSGLearner(config, num_parts=sharded_parts, jobs=shard_jobs)
+    return SGLearner(config)
+
+
 def _timed_sgl_runs(
     spec: ScenarioSpec,
     measurements: MeasurementSet,
     *,
     warmup: int,
     repeats: int,
+    sharded_parts: int | None = None,
+    shard_jobs: int = 1,
 ) -> tuple[list[float], StageTimings, SGLResult]:
     """Run the learner ``warmup + repeats`` times; time the last ``repeats``.
 
@@ -188,8 +206,12 @@ def _timed_sgl_runs(
     interference, and the fastest repeat is the least contaminated
     measurement of each stage.
     """
-    config = spec.make_config(measurements.n_nodes)
-    learner = SGLearner(config)
+    learner = _make_learner(
+        spec,
+        measurements.n_nodes,
+        sharded_parts=sharded_parts,
+        shard_jobs=shard_jobs,
+    )
     for _ in range(warmup):
         learner.fit(measurements)
     wall: list[float] = []
@@ -229,7 +251,12 @@ def trace_prefix_for(scenario_name: str) -> str:
 
 
 def _profile_scenario(
-    spec: ScenarioSpec, measurements: MeasurementSet, profile_dir: str | Path
+    spec: ScenarioSpec,
+    measurements: MeasurementSet,
+    profile_dir: str | Path,
+    *,
+    sharded_parts: int | None = None,
+    shard_jobs: int = 1,
 ) -> Path:
     """Run one untimed learner fit under :mod:`cProfile`; dump binary stats.
 
@@ -238,7 +265,12 @@ def _profile_scenario(
 
         python -m pstats BENCH_smoke_profiles/grid_2d_tiny.prof
     """
-    learner = SGLearner(spec.make_config(measurements.n_nodes))
+    learner = _make_learner(
+        spec,
+        measurements.n_nodes,
+        sharded_parts=sharded_parts,
+        shard_jobs=shard_jobs,
+    )
     path = profile_path_for(profile_dir, spec.name)
     path.parent.mkdir(parents=True, exist_ok=True)
     profiler = cProfile.Profile()
@@ -261,8 +293,16 @@ def run_scenario(
     n_quality_pairs: int = 120,
     profile_dir: str | Path | None = None,
     trace_dir: str | Path | None = None,
+    sharded_parts: int | None = None,
+    shard_jobs: int = 1,
 ) -> list[BenchRecord]:
     """Benchmark one scenario: the SGL learner plus any requested baselines.
+
+    With ``sharded_parts`` set, the learner is the partition-parallel
+    :class:`~repro.partition.ShardedSGLearner` over that many shards
+    (``shard_jobs`` workers fit shards concurrently); the record's
+    ``info.engine`` is ``"sharded"`` and partition/stitch statistics ride
+    along under ``info``.
 
     Returns one :class:`BenchRecord` per method (skipped baselines produce a
     record with empty ``wall_seconds`` and the skip reason under
@@ -288,7 +328,12 @@ def run_scenario(
                 "scenario", scenario=spec.name, repeats=max(repeats, 1), warmup=warmup
             ):
                 wall, stage_totals, result = _timed_sgl_runs(
-                    spec, measurements, warmup=warmup, repeats=repeats
+                    spec,
+                    measurements,
+                    warmup=warmup,
+                    repeats=repeats,
+                    sharded_parts=sharded_parts,
+                    shard_jobs=shard_jobs,
                 )
         # Per-call stage durations feed the fit.<stage>_ms histograms, so a
         # merged suite metrics file keeps per-stage latency distributions.
@@ -301,7 +346,12 @@ def run_scenario(
         trace_paths = obs.save(trace_dir, prefix=trace_prefix_for(spec.name))
     else:
         wall, stage_totals, result = _timed_sgl_runs(
-            spec, measurements, warmup=warmup, repeats=repeats
+            spec,
+            measurements,
+            warmup=warmup,
+            repeats=repeats,
+            sharded_parts=sharded_parts,
+            shard_jobs=shard_jobs,
         )
         trace_paths = None
     quality = quality_metrics(
@@ -313,13 +363,35 @@ def run_scenario(
     )
     peak_memory = None
     if track_memory:
-        learner = SGLearner(spec.make_config(measurements.n_nodes))
+        learner = _make_learner(
+            spec,
+            measurements.n_nodes,
+            sharded_parts=sharded_parts,
+            shard_jobs=shard_jobs,
+        )
         peak_memory = _peak_memory_of(lambda: learner.fit(measurements))
     profile_file = None
     if profile_dir is not None:
-        profile_file = str(_profile_scenario(spec, measurements, profile_dir))
+        profile_file = str(
+            _profile_scenario(
+                spec,
+                measurements,
+                profile_dir,
+                sharded_parts=sharded_parts,
+                shard_jobs=shard_jobs,
+            )
+        )
 
     engine_stats = result.engine_stats or {}
+    sharded_info = {}
+    if sharded_parts is not None:
+        sharded_info = {
+            "engine": "sharded",
+            "sharded_parts": sharded_parts,
+            "shard_jobs": shard_jobs,
+            "partition": result.partition.as_dict(),
+            "stitch_stats": result.stitch_stats,
+        }
     records = [
         BenchRecord(
             scenario=spec.name,
@@ -354,6 +426,7 @@ def run_scenario(
                 "metrics": (
                     obs.metrics.snapshot() if obs is not None else None
                 ),
+                **sharded_info,
             },
         )
     ]
@@ -409,6 +482,8 @@ def run_suite(
     profile_dir: str | Path | None = None,
     trace_dir: str | Path | None = None,
     jobs: int = 1,
+    sharded_parts: int | None = None,
+    shard_jobs: int = 1,
     progress=None,
 ) -> list[BenchRecord]:
     """Run a sequence of scenarios; ``progress`` is an optional callable
@@ -436,6 +511,8 @@ def run_suite(
         n_quality_pairs=n_quality_pairs,
         profile_dir=profile_dir,
         trace_dir=trace_dir,
+        sharded_parts=sharded_parts,
+        shard_jobs=shard_jobs,
     )
     if jobs == 1 or len(specs) <= 1:
         all_records: list[BenchRecord] = []

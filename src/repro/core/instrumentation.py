@@ -44,6 +44,9 @@ STAGE_NAMES: tuple[str, ...] = (
     "knn",
     "initial_tree",
     "candidate_pool",
+    "partition",
+    "shard_fit",
+    "stitch",
     "embedding",
     "embedding_warm",
     "coarsen",

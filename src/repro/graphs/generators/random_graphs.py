@@ -36,9 +36,14 @@ def _ensure_connected(graph: WeightedGraph, rng: np.random.Generator) -> Weighte
     if graph.is_connected():
         return graph
     n_comp, labels = graph.connected_components()
-    reps = [int(np.where(labels == c)[0][0]) for c in range(n_comp)]
-    edges = [(reps[i], reps[i + 1]) for i in range(n_comp - 1)]
-    return graph.add_edges(np.array(edges), np.ones(len(edges)))
+    # First node of each component; labels from scipy are 0..n_comp-1 and a
+    # stable sort keeps each component's lowest node id first, matching the
+    # per-component np.where(...)[0][0] this replaces.
+    order = np.argsort(labels, kind="stable")
+    _, first = np.unique(labels[order], return_index=True)
+    reps = order[first]
+    edges = np.column_stack([reps[:-1], reps[1:]])
+    return graph.add_edges(edges, np.ones(edges.shape[0]))
 
 
 def erdos_renyi_graph(
@@ -98,12 +103,30 @@ def random_geometric_graph(
     ``radius`` defaults to ``1.5 * sqrt(log(n) / (pi n))``, just above the
     connectivity threshold, yielding sparse planar-ish graphs similar to
     extracted layouts.
+
+    Below 50k nodes this delegates to :mod:`networkx` (keeping historical
+    graphs bit-identical); at or above it, a direct ``cKDTree.query_pairs``
+    construction takes over — the networkx generator materialises Python
+    dict adjacency and is prohibitively slow at the million-node tier.
     """
     if radius is None:
         radius = 1.5 * float(np.sqrt(np.log(max(n_nodes, 2)) / (np.pi * max(n_nodes, 2))))
     rng = np.random.default_rng(seed)
-    g = nx.random_geometric_graph(n_nodes, radius, seed=seed)
-    graph = _ensure_connected(WeightedGraph.from_networkx(g), rng)
+    if n_nodes >= 50_000:
+        from scipy.spatial import cKDTree
+
+        positions = rng.random((n_nodes, 2))
+        pairs = cKDTree(positions).query_pairs(radius, output_type="ndarray")
+        base = WeightedGraph(
+            n_nodes,
+            pairs[:, 0].astype(np.int64),
+            pairs[:, 1].astype(np.int64),
+            np.ones(pairs.shape[0]),
+        )
+    else:
+        g = nx.random_geometric_graph(n_nodes, radius, seed=seed)
+        base = WeightedGraph.from_networkx(g)
+    graph = _ensure_connected(base, rng)
     return _randomize_weights(graph, weight_spread, rng)
 
 

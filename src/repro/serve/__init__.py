@@ -12,6 +12,10 @@ divide between per-model precomputation and per-query work:
   :class:`ResistanceOracle` on tree-like graphs (SGL output always is) —
   no Laplacian solves at query time — with grouped multi-RHS solves as
   the general fallback;
+* :class:`ShardedGraphSession` — the same query surface over a partition-
+  parallel model directory (:mod:`repro.artifacts.sharded`): per-shard
+  sessions answer same-shard queries exactly, a contracted boundary graph
+  bridges cross-shard resistance queries;
 * :class:`MicroBatcher` — asyncio request coalescing (flush on batch size
   or deadline, whichever first) feeding a worker pool;
 * :class:`GraphService` — the front end: an LRU cache of sessions keyed by
@@ -27,6 +31,7 @@ from repro.serve.batching import BatchStats, MicroBatcher
 from repro.serve.resistance import ResistanceOracle
 from repro.serve.service import GraphService, serve_forever
 from repro.serve.session import GraphSession
+from repro.serve.sharded import ShardedGraphSession
 
 __all__ = [
     "BatchStats",
@@ -34,5 +39,6 @@ __all__ = [
     "GraphSession",
     "MicroBatcher",
     "ResistanceOracle",
+    "ShardedGraphSession",
     "serve_forever",
 ]

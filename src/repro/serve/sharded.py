@@ -1,0 +1,300 @@
+"""Sharded serving: route queries to owning shards, bridge across shards.
+
+:class:`ShardedGraphSession` serves a partition-parallel model
+(:class:`~repro.artifacts.ShardedModelArtifact`) the way it was fitted — one
+:class:`~repro.serve.GraphSession` per shard — and adds the cross-shard glue
+a single-graph session never needs:
+
+* **Same-shard resistance** queries translate global node ids to shard-local
+  ids and run exactly on the owning shard's session (oracle or grouped
+  solves, identical to single-graph serving of that shard).
+* **Cross-shard resistance** runs on the *boundary graph*: every endpoint of
+  a cut edge keeps its identity, each shard's interior contracts to one
+  supernode (interior-to-boundary edges attach to it, summed), and the cut
+  edges connect boundary vertices across shards.  Queries map interior
+  endpoints to their shard's supernode.  This is a documented contraction
+  approximation — exact on the inter-shard structure, coarse inside a shard
+  — answered through the :class:`~repro.serve.ResistanceOracle` when the
+  boundary graph is tree-like enough and grouped solves otherwise.
+* **Nearest-neighbour** queries run on the owning shard's stored embedding
+  and come back in global node ids (embedding-space neighbours of a node
+  are overwhelmingly same-shard: the partition was cut along weak edges).
+* **Cluster labels** are per-shard labelings namespaced by shard
+  (``shard * n_clusters + local_label``), so labels are globally unique.
+
+Examples
+--------
+>>> import tempfile
+>>> from repro.artifacts import save_sharded_result
+>>> from repro.graphs.generators import grid_2d
+>>> from repro.measurements import simulate_measurements
+>>> from repro.partition import ShardedSGLearner
+>>> from repro.serve import ShardedGraphSession
+>>> data = simulate_measurements(grid_2d(10, 10), n_measurements=30, seed=0)
+>>> result = ShardedSGLearner(beta=0.05, num_parts=2).fit(data)
+>>> session = ShardedGraphSession.from_directory(
+...     save_sharded_result(result, tempfile.mkdtemp()))
+>>> session.n_parts, session.n_nodes
+(2, 100)
+>>> session.effective_resistance([[0, 1], [0, 99]]).shape
+(2,)
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+
+import numpy as np
+
+from repro.artifacts.sharded import ShardedModelArtifact, load_sharded_result
+from repro.graphs.graph import WeightedGraph
+from repro.linalg.solvers import LaplacianSolver
+from repro.metrics.resistance import effective_resistance_batched
+from repro.serve.resistance import ResistanceOracle
+from repro.serve.session import GraphSession
+
+__all__ = ["ShardedGraphSession"]
+
+
+class _BoundaryBridge:
+    """The contracted boundary graph plus its resistance engine."""
+
+    def __init__(
+        self,
+        artifact: ShardedModelArtifact,
+        *,
+        resistance_engine: str,
+        resistance_block: int,
+    ) -> None:
+        assignment = artifact.assignment
+        n_parts = artifact.n_parts
+        boundary_ids = np.unique(
+            np.concatenate([artifact.cut_rows, artifact.cut_cols])
+        )
+        n_boundary = boundary_ids.size
+        # Global node -> boundary-graph node: boundary vertices keep their
+        # identity (compacted), interior nodes go to their shard supernode.
+        node_map = n_boundary + assignment.astype(np.int64)
+        node_map[boundary_ids] = np.arange(n_boundary)
+
+        rows = [node_map[artifact.cut_rows]]
+        cols = [node_map[artifact.cut_cols]]
+        weights = [artifact.cut_weights]
+        for nodes, shard in zip(artifact.shard_nodes, artifact.shards):
+            g_rows = node_map[nodes[shard.graph.rows]]
+            g_cols = node_map[nodes[shard.graph.cols]]
+            keep = g_rows != g_cols  # interior-interior edges collapse away
+            rows.append(g_rows[keep])
+            cols.append(g_cols[keep])
+            weights.append(shard.graph.weights[keep])
+        all_rows = np.concatenate(rows)
+        all_cols = np.concatenate(cols)
+        all_weights = np.concatenate(weights)
+
+        # A shard whose nodes are all on the boundary leaves its supernode
+        # isolated; compact it away so the graph stays connected.
+        present = np.zeros(n_boundary + n_parts, dtype=bool)
+        present[all_rows] = True
+        present[all_cols] = True
+        present[:n_boundary] = True
+        compact = np.cumsum(present) - 1
+        self.node_map = np.where(present[node_map], compact[node_map], -1)
+        self.graph = WeightedGraph(
+            int(present.sum()),
+            compact[all_rows],
+            compact[all_cols],
+            all_weights,
+        )
+
+        self._block = int(resistance_block)
+        self._oracle: ResistanceOracle | None = None
+        self._solver: LaplacianSolver | None = None
+        if resistance_engine == "woodbury" or (
+            resistance_engine == "auto" and ResistanceOracle.eligible(self.graph)
+        ):
+            self._oracle = ResistanceOracle(self.graph)
+        else:
+            self._solver = LaplacianSolver(self.graph)
+
+    @property
+    def engine(self) -> str:
+        return "woodbury" if self._oracle is not None else "grouped"
+
+    def query(self, pairs: np.ndarray) -> np.ndarray:
+        mapped = self.node_map[pairs]
+        if self._oracle is not None:
+            return self._oracle.query(mapped)
+        return effective_resistance_batched(
+            self.graph, mapped, solver=self._solver, block_size=self._block
+        )
+
+
+class ShardedGraphSession:
+    """Precomputed query state over one loaded *sharded* model.
+
+    Parameters mirror :class:`~repro.serve.GraphSession` and are forwarded
+    to every per-shard session; ``resistance_engine``/``resistance_block``
+    also govern the boundary bridge.
+    """
+
+    def __init__(
+        self,
+        artifact: ShardedModelArtifact,
+        *,
+        knn_backend: str = "auto",
+        resistance_engine: str = "auto",
+        resistance_block: int = 256,
+        seed: int | None = 0,
+    ) -> None:
+        self.artifact = artifact
+        self.checksum = artifact.checksum
+        self.assignment = artifact.assignment
+        self.shard_nodes = artifact.shard_nodes
+        self.shards = tuple(
+            GraphSession(
+                shard,
+                knn_backend=knn_backend,
+                resistance_engine=resistance_engine,
+                resistance_block=resistance_block,
+                seed=seed,
+            )
+            for shard in artifact.shards
+        )
+        self._bridge: _BoundaryBridge | None = None
+        if artifact.n_parts > 1 and artifact.cut_rows.size:
+            self._bridge = _BoundaryBridge(
+                artifact,
+                resistance_engine=resistance_engine,
+                resistance_block=resistance_block,
+            )
+        self._lock = threading.Lock()
+        self._counters = {"resistance": 0, "cross_resistance": 0, "neighbors": 0, "labels": 0}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_directory(cls, directory: str | Path, **options) -> "ShardedGraphSession":
+        """Load a sharded model directory (validated) and serve it."""
+        return cls(load_sharded_result(directory), **options)
+
+    @property
+    def n_nodes(self) -> int:
+        """Total number of nodes across shards."""
+        return self.artifact.n_nodes
+
+    @property
+    def n_parts(self) -> int:
+        """Number of shards."""
+        return self.artifact.n_parts
+
+    def _check_nodes(self, nodes: np.ndarray) -> None:
+        if nodes.size and (nodes.min() < 0 or nodes.max() >= self.n_nodes):
+            raise ValueError(f"node id out of range for {self.n_nodes} nodes")
+
+    def _local(self, part: int, nodes: np.ndarray) -> np.ndarray:
+        return np.searchsorted(self.shard_nodes[part], nodes)
+
+    # ------------------------------------------------------------------
+    def effective_resistance(self, pairs: np.ndarray) -> np.ndarray:
+        """Batched effective resistances in global node ids.
+
+        Same-shard pairs are answered exactly by the owning shard's session;
+        cross-shard pairs through the boundary-graph contraction (see the
+        module docstring for the approximation this makes).
+        """
+        pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        self._check_nodes(pairs.reshape(-1))
+        out = np.empty(pairs.shape[0])
+        part_a = self.assignment[pairs[:, 0]]
+        part_b = self.assignment[pairs[:, 1]]
+        same = part_a == part_b
+        n_cross = int((~same).sum())
+        for part in range(self.n_parts):
+            mask = same & (part_a == part)
+            if not mask.any():
+                continue
+            local = self._local(part, pairs[mask])
+            out[mask] = self.shards[part].effective_resistance(local)
+        if n_cross:
+            if self._bridge is None:
+                raise ValueError(
+                    "cross-shard query on a model with no boundary edges"
+                )
+            out[~same] = self._bridge.query(pairs[~same])
+        with self._lock:
+            self._counters["resistance"] += pairs.shape[0]
+            self._counters["cross_resistance"] += n_cross
+        return out
+
+    def nearest_neighbors(
+        self, nodes: np.ndarray, k: int = 5
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``k`` electrically-nearest nodes (global ids), routed per shard."""
+        nodes = np.asarray(nodes, dtype=np.int64).reshape(-1)
+        self._check_nodes(nodes)
+        parts = self.assignment[nodes]
+        distances = np.empty((nodes.size, 0))
+        neighbor_ids = np.empty((nodes.size, 0), dtype=np.int64)
+        first = True
+        for part in range(self.n_parts):
+            mask = parts == part
+            if not mask.any():
+                continue
+            local = self._local(part, nodes[mask])
+            dist, local_ids = self.shards[part].nearest_neighbors(local, k)
+            if first:
+                distances = np.empty((nodes.size, dist.shape[1]))
+                neighbor_ids = np.empty((nodes.size, dist.shape[1]), dtype=np.int64)
+                first = False
+            distances[mask] = dist
+            neighbor_ids[mask] = self.shard_nodes[part][local_ids]
+        with self._lock:
+            self._counters["neighbors"] += nodes.size
+        return distances, neighbor_ids
+
+    def cluster_labels(
+        self, nodes: np.ndarray | None = None, *, n_clusters: int = 8
+    ) -> np.ndarray:
+        """Globally unique per-shard cluster labels.
+
+        Each shard is clustered independently into ``n_clusters`` groups;
+        shard ``p``'s labels occupy ``[p * n_clusters, (p+1) * n_clusters)``.
+        """
+        if nodes is None:
+            nodes = np.arange(self.n_nodes, dtype=np.int64)
+        else:
+            nodes = np.asarray(nodes, dtype=np.int64).reshape(-1)
+            self._check_nodes(nodes)
+        parts = self.assignment[nodes]
+        out = np.empty(nodes.size, dtype=np.int64)
+        for part in range(self.n_parts):
+            mask = parts == part
+            if not mask.any():
+                continue
+            local = self._local(part, nodes[mask])
+            labels = self.shards[part].cluster_labels(local, n_clusters=n_clusters)
+            out[mask] = part * n_clusters + labels
+        with self._lock:
+            self._counters["labels"] += nodes.size
+        return out
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Aggregated session statistics across shards and the bridge."""
+        with self._lock:
+            counters = dict(self._counters)
+        return {
+            "checksum": self.checksum,
+            "n_nodes": self.n_nodes,
+            "n_parts": self.n_parts,
+            "boundary_engine": self._bridge.engine if self._bridge else None,
+            "boundary_nodes": self._bridge.graph.n_nodes if self._bridge else 0,
+            "shard_engines": [s.resistance_engine for s in self.shards],
+            "queries": counters,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedGraphSession(checksum={self.checksum[:12]}..., "
+            f"n_nodes={self.n_nodes}, n_parts={self.n_parts})"
+        )

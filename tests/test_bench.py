@@ -138,6 +138,27 @@ def test_compare_treats_new_scenarios_as_notes(tiny_records):
     assert report.notes
 
 
+def test_compare_treats_absent_fallback_count_as_zero(tiny_records):
+    # Pre-PR 6 artifacts never recorded info.engine_fallbacks; comparing a
+    # new run (which records 0) against one must not report provenance
+    # drift for every record.
+    baseline = make_artifact("unit", tiny_records)
+    stripped = json.loads(json.dumps(baseline))
+    for record in stripped["results"]:
+        record["info"].pop("engine_fallbacks", None)
+        record["info"].setdefault("resistance_engine", "dense")
+    candidate = json.loads(json.dumps(stripped))
+    for record in candidate["results"]:
+        record["info"]["engine_fallbacks"] = 0
+    report = compare(stripped, candidate)
+    assert report.ok
+    assert not any("fallbacks" in note for note in report.notes)
+    # A real fallback count still surfaces as a note against the old record.
+    candidate["results"][0]["info"]["engine_fallbacks"] = 3
+    report = compare(stripped, candidate)
+    assert any("fallbacks" in note for note in report.notes)
+
+
 # ----------------------------------------------------------------------
 # CLI (the acceptance-criteria flow)
 # ----------------------------------------------------------------------

@@ -1,0 +1,189 @@
+"""Property-based invariants of :class:`repro.partition.GraphPartitioner`.
+
+Randomised (hypothesis, derandomised) checks of the partition contract the
+sharded learner and the sharded artifact format both build on: partitions
+are a disjoint cover of the vertex set, every edge is interior to exactly
+one shard or in the cut set exactly once, halos are symmetric, the balance
+factor respects the configured tolerance, and the whole pipeline is
+deterministic under a fixed seed.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.graph import WeightedGraph
+from repro.graphs.generators import grid_2d
+from repro.partition import GraphPartition, GraphPartitioner
+
+SETTINGS = settings(max_examples=40, deadline=None, derandomize=True)
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+@st.composite
+def connected_graphs(draw, min_nodes=8, max_nodes=60, max_extra_edges=80):
+    """A connected WeightedGraph: a random-weight path plus random extra edges."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    m = draw(st.integers(0, max_extra_edges))
+    rows = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    cols = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    extra_w = draw(
+        st.lists(
+            st.floats(0.1, 10.0, allow_nan=False, allow_infinity=False),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    path = np.arange(n - 1)
+    path_w = draw(
+        st.lists(
+            st.floats(0.1, 10.0, allow_nan=False, allow_infinity=False),
+            min_size=n - 1,
+            max_size=n - 1,
+        )
+    )
+    return WeightedGraph(
+        n,
+        np.concatenate([path, np.array(rows, dtype=np.int64)]),
+        np.concatenate([path + 1, np.array(cols, dtype=np.int64)]),
+        np.concatenate([np.array(path_w), np.array(extra_w)]),
+    )
+
+
+@st.composite
+def graph_and_parts(draw):
+    graph = draw(connected_graphs())
+    num_parts = draw(st.integers(1, max(1, graph.n_nodes // 3)))
+    seed = draw(st.integers(0, 5))
+    return graph, num_parts, seed
+
+
+def _partition(graph, num_parts, seed) -> GraphPartition:
+    return GraphPartitioner(num_parts, min_part_size=3, seed=seed).partition(graph)
+
+
+# ----------------------------------------------------------------------
+# Invariants
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(graph_and_parts())
+def test_partition_is_disjoint_cover(case):
+    graph, num_parts, seed = case
+    part = _partition(graph, num_parts, seed)
+    # Every node has exactly one part, every part id is in range, no part
+    # is empty and part_nodes() tiles the vertex set.
+    assert part.assignment.shape == (graph.n_nodes,)
+    assert part.assignment.min() >= 0 and part.assignment.max() < part.n_parts
+    sizes = part.part_sizes
+    assert int(sizes.sum()) == graph.n_nodes
+    assert sizes.min() >= 3
+    all_nodes = np.concatenate([part.part_nodes(p) for p in range(part.n_parts)])
+    assert np.array_equal(np.sort(all_nodes), np.arange(graph.n_nodes))
+
+
+@SETTINGS
+@given(graph_and_parts())
+def test_every_edge_interior_or_cut_exactly_once(case):
+    graph, num_parts, seed = case
+    part = _partition(graph, num_parts, seed)
+    crossing = part.assignment[graph.rows] != part.assignment[graph.cols]
+    # Cut set == the crossing edges, in canonical order, each exactly once.
+    assert np.array_equal(part.cut_rows, graph.rows[crossing])
+    assert np.array_equal(part.cut_cols, graph.cols[crossing])
+    assert np.array_equal(part.cut_weights, graph.weights[crossing])
+    cut_keys = set(zip(part.cut_rows.tolist(), part.cut_cols.tolist()))
+    assert len(cut_keys) == part.n_cut_edges  # no duplicates
+    # Interior edges of all shards + cut edges tile the edge set.
+    n_interior = int((~crossing).sum())
+    assert n_interior + part.n_cut_edges == graph.n_edges
+    for p in range(part.n_parts):
+        interior_p = (
+            (part.assignment[graph.rows] == p) & (part.assignment[graph.cols] == p)
+        )
+        assert not np.any(interior_p & crossing)
+
+
+@SETTINGS
+@given(graph_and_parts())
+def test_halo_symmetry(case):
+    graph, num_parts, seed = case
+    part = _partition(graph, num_parts, seed)
+    halos = [set(part.halo_nodes(p).tolist()) for p in range(part.n_parts)]
+    for u, v in zip(part.cut_rows.tolist(), part.cut_cols.tolist()):
+        pu = int(part.assignment[u])
+        pv = int(part.assignment[v])
+        # u is ghosted by v's owner and vice versa.
+        assert u in halos[pv]
+        assert v in halos[pu]
+    # Halo nodes are always foreign.
+    for p, halo in enumerate(halos):
+        assert all(part.assignment[node] != p for node in halo)
+
+
+@SETTINGS
+@given(graph_and_parts())
+def test_balance_within_tolerance(case):
+    graph, num_parts, seed = case
+    tolerance = 1.2
+    part = GraphPartitioner(
+        num_parts, balance_tolerance=tolerance, min_part_size=3, seed=seed
+    ).partition(graph)
+    ideal = -(-graph.n_nodes // num_parts)
+    assert part.part_sizes.max() <= int(tolerance * ideal)
+    assert part.balance_factor <= tolerance + 1e-9
+
+
+@SETTINGS
+@given(graph_and_parts())
+def test_deterministic_under_fixed_seed(case):
+    graph, num_parts, seed = case
+    first = _partition(graph, num_parts, seed)
+    second = _partition(graph, num_parts, seed)
+    assert np.array_equal(first.assignment, second.assignment)
+    assert np.array_equal(first.cut_rows, second.cut_rows)
+    assert np.array_equal(first.cut_cols, second.cut_cols)
+    assert np.array_equal(first.cut_weights, second.cut_weights)
+
+
+# ----------------------------------------------------------------------
+# Direct edge cases
+# ----------------------------------------------------------------------
+def test_single_part_is_trivial():
+    part = GraphPartitioner(1).partition(grid_2d(5, 5))
+    assert part.n_parts == 1
+    assert np.array_equal(part.assignment, np.zeros(25, dtype=np.int64))
+    assert part.n_cut_edges == 0
+    assert part.balance_factor == 1.0
+
+
+def test_too_few_nodes_rejected():
+    with pytest.raises(ValueError, match="cannot split"):
+        GraphPartitioner(4, min_part_size=3).partition(grid_2d(3, 3))
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError, match="num_parts"):
+        GraphPartitioner(0)
+    with pytest.raises(ValueError, match="balance_tolerance"):
+        GraphPartitioner(2, balance_tolerance=0.9)
+    with pytest.raises(ValueError, match="oversample"):
+        GraphPartitioner(2, oversample=1)
+    with pytest.raises(ValueError, match="min_part_size"):
+        GraphPartitioner(2, min_part_size=0)
+
+
+def test_part_lookup_bounds():
+    part = GraphPartitioner(2, seed=0).partition(grid_2d(6, 6))
+    with pytest.raises(ValueError, match="part must be in"):
+        part.part_nodes(2)
+    with pytest.raises(ValueError, match="part must be in"):
+        part.halo_nodes(-1)
+
+
+def test_grid_partition_is_local():
+    """On a mesh, a good partition cuts far fewer edges than it keeps."""
+    graph = grid_2d(24, 24)
+    part = GraphPartitioner(4, seed=0).partition(graph)
+    assert part.n_cut_edges < graph.n_edges // 4

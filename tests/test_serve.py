@@ -20,6 +20,7 @@ from repro.serve import (
     GraphSession,
     MicroBatcher,
     ResistanceOracle,
+    ShardedGraphSession,
     serve_forever,
 )
 from repro.serve.cli import main as serve_main
@@ -513,3 +514,95 @@ class TestServeCLI:
         assert len(queries) == 2
         metrics = json.loads((trace_dir / "query_resistance_metrics.json").read_text())
         assert metrics["histograms"]["batcher.resistance.latency_ms"]["count"] == 2
+
+
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def sharded_session(tmp_path_factory):
+    from repro.artifacts import save_sharded_result
+    from repro.partition import ShardedSGLearner
+
+    data = simulate_measurements(grid_2d(10, 10), n_measurements=30, seed=0)
+    result = ShardedSGLearner(beta=0.05, num_parts=2).fit(data)
+    directory = save_sharded_result(
+        result, tmp_path_factory.mktemp("sharded") / "model"
+    )
+    return ShardedGraphSession.from_directory(directory)
+
+
+class TestShardedGraphSession:
+    def test_loads_and_reports_shape(self, sharded_session):
+        assert sharded_session.n_parts == 2
+        assert sharded_session.n_nodes == 100
+        stats = sharded_session.stats()
+        assert stats["n_parts"] == 2
+        assert len(stats["shard_engines"]) == 2
+        assert stats["boundary_engine"] in ("woodbury", "grouped")
+        assert stats["boundary_nodes"] > 0
+
+    def test_same_shard_resistance_is_exact(self, sharded_session):
+        # Same-shard pairs route to the owning shard's session, which must
+        # agree with direct per-pair solves on that shard's graph.
+        nodes = sharded_session.shard_nodes[0]
+        pairs = np.column_stack([nodes[:10], nodes[10:20]])
+        got = sharded_session.effective_resistance(pairs)
+        shard_graph = sharded_session.artifact.shards[0].graph
+        expected = effective_resistance(
+            shard_graph, np.searchsorted(nodes, pairs)
+        )
+        np.testing.assert_allclose(got, expected, rtol=1e-8)
+
+    def test_cross_shard_resistance_is_finite_and_symmetric(self, sharded_session):
+        pairs = np.column_stack(
+            [sharded_session.shard_nodes[0][:5], sharded_session.shard_nodes[1][:5]]
+        )
+        res = sharded_session.effective_resistance(pairs)
+        assert np.all(np.isfinite(res)) and np.all(res > 0)
+        swapped = sharded_session.effective_resistance(pairs[:, ::-1].copy())
+        np.testing.assert_allclose(res, swapped, rtol=1e-9)
+        assert sharded_session.stats()["queries"]["cross_resistance"] >= 10
+
+    def test_cross_shard_estimate_lower_bounds_whole_graph(self, sharded_session):
+        # The boundary bridge shorts each shard's interior into a supernode;
+        # by Rayleigh monotonicity, shorting can only lower the effective
+        # resistance, so the bridge estimate lower-bounds the whole-graph
+        # value.
+        art = sharded_session.artifact
+        rows, cols, weights = [art.cut_rows], [art.cut_cols], [art.cut_weights]
+        for nodes, shard in zip(art.shard_nodes, art.shards):
+            rows.append(nodes[shard.graph.rows])
+            cols.append(nodes[shard.graph.cols])
+            weights.append(shard.graph.weights)
+        whole = WeightedGraph(
+            art.n_nodes,
+            np.concatenate(rows),
+            np.concatenate(cols),
+            np.concatenate(weights),
+        )
+        pairs = np.column_stack([art.shard_nodes[0][:8], art.shard_nodes[1][:8]])
+        exact = effective_resistance(whole, pairs)
+        approx = sharded_session.effective_resistance(pairs)
+        assert np.all(approx <= exact * (1 + 1e-9))
+
+    def test_nearest_neighbors_stay_in_owning_shard(self, sharded_session):
+        nodes = np.array(
+            [sharded_session.shard_nodes[0][0], sharded_session.shard_nodes[1][0]]
+        )
+        distances, ids = sharded_session.nearest_neighbors(nodes, k=4)
+        assert distances.shape == (2, 4) and ids.shape == (2, 4)
+        parts = sharded_session.assignment[ids]
+        assert (parts[0] == 0).all() and (parts[1] == 1).all()
+
+    def test_cluster_labels_are_namespaced_by_shard(self, sharded_session):
+        labels = sharded_session.cluster_labels(n_clusters=4)
+        assert labels.shape == (100,)
+        for part in range(2):
+            shard_labels = labels[sharded_session.shard_nodes[part]]
+            assert shard_labels.min() >= part * 4
+            assert shard_labels.max() < (part + 1) * 4
+
+    def test_rejects_out_of_range_nodes(self, sharded_session):
+        with pytest.raises(ValueError, match="out of range"):
+            sharded_session.effective_resistance([(0, 100)])
+        with pytest.raises(ValueError, match="out of range"):
+            sharded_session.nearest_neighbors([-1])

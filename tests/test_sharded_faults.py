@@ -1,0 +1,138 @@
+"""Fault injection for the sharded fit pipeline and artifact store.
+
+Two failure families the million-node tier must survive loudly:
+
+* a shard worker that raises — or dies outright — must surface as a
+  :class:`~repro.partition.ShardFitError` naming the shard, and must never
+  leave a partial (manifest-less) checkpoint behind;
+* a sharded model directory whose members were corrupted or swapped after
+  the save must fail :func:`~repro.artifacts.load_sharded_result`'s
+  checksum validation with a :class:`~repro.artifacts.ShardManifestError`
+  naming the member.
+
+The worker-death cases rely on the Linux ``fork`` start method: a function
+monkeypatched into :mod:`repro.partition.sharded` in the parent is
+inherited by pool workers.
+"""
+
+import os
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.artifacts import (
+    ShardManifestError,
+    load_sharded_result,
+    save_sharded_result,
+)
+from repro.graphs.generators import grid_2d
+from repro.measurements import simulate_measurements
+from repro.partition import ShardedSGLearner, ShardFitError
+from repro.partition.sharded import fit_shard as real_fit_shard
+
+
+@pytest.fixture(scope="module")
+def data():
+    return simulate_measurements(grid_2d(10, 10), n_measurements=20, seed=0)
+
+
+def _fail_on_shard_one(shard, voltages, config):
+    if shard == 1:
+        raise RuntimeError("injected shard failure")
+    return real_fit_shard(shard, voltages, config)
+
+
+def _die_on_shard_one(shard, voltages, config):
+    if shard == 1:
+        os._exit(3)  # simulate a worker killed mid-fit (OOM, SIGKILL, ...)
+    return real_fit_shard(shard, voltages, config)
+
+
+# ----------------------------------------------------------------------
+# Worker failure -> ShardFitError naming the shard
+# ----------------------------------------------------------------------
+def test_sequential_shard_failure_names_shard(data, monkeypatch):
+    monkeypatch.setattr("repro.partition.sharded.fit_shard", _fail_on_shard_one)
+    learner = ShardedSGLearner(beta=0.05, num_parts=2, jobs=1)
+    with pytest.raises(ShardFitError, match="shard 1") as excinfo:
+        learner.fit(data)
+    assert excinfo.value.shard == 1
+    assert "injected shard failure" in str(excinfo.value)
+
+
+def test_pool_shard_failure_names_shard(data, monkeypatch):
+    monkeypatch.setattr("repro.partition.sharded.fit_shard", _fail_on_shard_one)
+    learner = ShardedSGLearner(beta=0.05, num_parts=2, jobs=2)
+    with pytest.raises(ShardFitError, match="shard 1") as excinfo:
+        learner.fit(data)
+    assert excinfo.value.shard == 1
+
+
+def test_pool_worker_death_raises_shard_fit_error(data, monkeypatch):
+    monkeypatch.setattr("repro.partition.sharded.fit_shard", _die_on_shard_one)
+    learner = ShardedSGLearner(beta=0.05, num_parts=2, jobs=2)
+    with pytest.raises(ShardFitError) as excinfo:
+        learner.fit(data)
+    # A dead worker breaks every pending future, so the error is pinned to
+    # the lowest-indexed failing shard — either shard is acceptable, but it
+    # must be *named*.
+    assert excinfo.value.shard in (0, 1)
+    assert "shard" in str(excinfo.value)
+
+
+def test_failed_fit_leaves_no_partial_checkpoint(data, tmp_path, monkeypatch):
+    monkeypatch.setattr("repro.partition.sharded.fit_shard", _fail_on_shard_one)
+    checkpoint = tmp_path / "ckpt"
+    learner = ShardedSGLearner(beta=0.05, num_parts=2, jobs=1)
+    with pytest.raises(ShardFitError):
+        learner.fit(data, checkpoint_dir=checkpoint)
+    # The checkpoint stage never ran: no manifest means loaders reject the
+    # directory instead of serving a silently partial model.
+    assert not (checkpoint / "manifest.json").exists()
+    with pytest.raises(ShardManifestError, match="manifest"):
+        load_sharded_result(checkpoint)
+
+
+# ----------------------------------------------------------------------
+# Artifact tampering -> ShardManifestError naming the member
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def saved_model(data, tmp_path):
+    result = ShardedSGLearner(beta=0.05, num_parts=2).fit(data)
+    save_sharded_result(result, tmp_path / "model")
+    return tmp_path / "model"
+
+
+def test_corrupted_shard_file_fails_load(saved_model):
+    target = saved_model / "shard_0001.npz"
+    raw = bytearray(target.read_bytes())
+    raw[0] ^= 0xFF  # clobber the zip magic: the file no longer parses
+    target.write_bytes(bytes(raw))
+    with pytest.raises(ShardManifestError, match="shard 1"):
+        load_sharded_result(saved_model)
+
+
+def test_swapped_shard_artifact_fails_checksum(data, saved_model, tmp_path):
+    # A *valid* artifact from a different fit must still be rejected: the
+    # manifest pins each member's checksum.
+    other_data = simulate_measurements(grid_2d(10, 10), n_measurements=20, seed=9)
+    other = ShardedSGLearner(beta=0.05, num_parts=2).fit(other_data)
+    save_sharded_result(other, tmp_path / "other")
+    shutil.copyfile(
+        tmp_path / "other" / "shard_0000.npz", saved_model / "shard_0000.npz"
+    )
+    with pytest.raises(ShardManifestError, match="shard 0.*replaced or tampered"):
+        load_sharded_result(saved_model)
+
+
+def test_tampered_boundary_fails_checksum(saved_model):
+    boundary_path = saved_model / "boundary.npz"
+    with np.load(boundary_path) as handle:
+        arrays = {name: handle[name].copy() for name in handle.files}
+    assert arrays["cut_weights"].size > 0
+    arrays["cut_weights"] = arrays["cut_weights"] * 2.0
+    with boundary_path.open("wb") as handle:
+        np.savez_compressed(handle, **arrays)
+    with pytest.raises(ShardManifestError, match="boundary.*corrupt or tampered"):
+        load_sharded_result(saved_model)
