@@ -115,6 +115,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="shards for --engine sharded (default 4; ignored otherwise)",
     )
     p_run.add_argument(
+        "--refinement-backend",
+        choices=("lobpcg", "inverse-power", "chebyshev"),
+        default=None,
+        help="override SGLConfig.refinement_backend for every scenario "
+        "(A/B the multilevel engine's per-level refinement: preconditioned "
+        "LOBPCG, block PINVIT, or mixed-precision Chebyshev-filtered "
+        "subspace iteration; only meaningful with --engine multilevel; "
+        "default: scenario settings)",
+    )
+    p_run.add_argument(
+        "--linalg-backend",
+        choices=("auto", "numpy", "cupy"),
+        default=None,
+        help="override SGLConfig.linalg_backend for every scenario "
+        "(compute backend for the chebyshev filter primitives: 'numpy' "
+        "always available, 'cupy' when the GPU stack is importable, "
+        "'auto' probes and degrades to numpy; default: scenario settings)",
+    )
+    p_run.add_argument(
+        "--refine-dtype",
+        choices=("float32", "float64"),
+        default=None,
+        help="override SGLConfig.refine_dtype for every scenario (the "
+        "chebyshev filter's working precision — acceptance checks always "
+        "run in float64; default: scenario settings)",
+    )
+    p_run.add_argument(
         "--knn-backend",
         choices=("auto", "brute", "kdtree", "jl", "nsw"),
         default=None,
@@ -260,6 +287,12 @@ def _cmd_run(args) -> int:
         sgl_overrides["embedding_engine"] = args.engine
     if args.knn_backend is not None:
         sgl_overrides["knn_backend"] = args.knn_backend
+    if args.refinement_backend is not None:
+        sgl_overrides["refinement_backend"] = args.refinement_backend
+    if args.linalg_backend is not None:
+        sgl_overrides["linalg_backend"] = args.linalg_backend
+    if args.refine_dtype is not None:
+        sgl_overrides["refine_dtype"] = args.refine_dtype
     if sgl_overrides:
         specs = [
             dataclasses.replace(spec, sgl={**spec.sgl, **sgl_overrides})
@@ -330,6 +363,9 @@ def _cmd_run(args) -> int:
             "embedding_engine": args.engine,
             "sharded_parts": sharded_parts,
             "knn_backend": args.knn_backend,
+            "refinement_backend": args.refinement_backend,
+            "linalg_backend": args.linalg_backend,
+            "refine_dtype": args.refine_dtype,
             "profile": str(profile_dir) if profile_dir is not None else None,
             "trace": args.trace,
         },

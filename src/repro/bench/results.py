@@ -19,6 +19,9 @@ Artifact layout (``BENCH_<tag>.json``, schema v1)::
   than ``time_threshold`` (relative, default 20 % — so an injected 25 %
   slowdown fails the gate; the fastest repeat is used because the mean is
   dominated by scheduler interference on busy machines);
+* *stage regressions*: any individual pipeline stage's accumulated seconds
+  slowed down by more than ``time_threshold`` — total wall time can hide a
+  stage-level regression offset by a win elsewhere;
 * *quality regressions*: effective-resistance correlation dropped by more
   than ``quality_threshold`` (absolute), or learned density grew by more
   than ``time_threshold`` (relative).
@@ -192,7 +195,7 @@ class Regression:
 
     scenario: str
     method: str
-    kind: str  # "time" | "quality" | "density"
+    kind: str  # "time" | "stage" | "quality" | "density"
     baseline: float
     candidate: float
     message: str
@@ -284,6 +287,36 @@ def compare(
                     ),
                 )
             )
+
+        # Per-stage gate: total wall time can hide a stage-level regression
+        # offset by a win elsewhere (e.g. refine 2x slower behind a faster
+        # sensitivity pass), so every stage shared by both records is gated
+        # with the same relative threshold.  Stages present on only one
+        # side are a note — pipelines are allowed to add or drop stages.
+        base_stages = base.get("stage_seconds", {})
+        cand_stages = cand.get("stage_seconds", {})
+        for stage in sorted(base_stages.keys() - cand_stages.keys()):
+            report.notes.append(f"{scenario} ({method}): stage {stage!r} missing from candidate")
+        for stage in sorted(cand_stages.keys() - base_stages.keys()):
+            report.notes.append(f"{scenario} ({method}): stage {stage!r} new in candidate")
+        for stage in sorted(base_stages.keys() & cand_stages.keys()):
+            base_stage = float(base_stages[stage].get("seconds", 0.0))
+            cand_stage = float(cand_stages[stage].get("seconds", 0.0))
+            if base_stage >= min_seconds and cand_stage > base_stage * (1.0 + time_threshold):
+                slowdown = cand_stage / base_stage - 1.0
+                report.regressions.append(
+                    Regression(
+                        scenario=scenario,
+                        method=method,
+                        kind="stage",
+                        baseline=base_stage,
+                        candidate=cand_stage,
+                        message=(
+                            f"stage {stage!r} {base_stage:.4f}s -> {cand_stage:.4f}s "
+                            f"(+{slowdown:.0%}, threshold {time_threshold:.0%})"
+                        ),
+                    )
+                )
 
         base_corr = base["quality"].get("resistance_correlation")
         cand_corr = cand["quality"].get("resistance_correlation")

@@ -414,11 +414,14 @@ def run_scenario(
                 "repeats": repeats,
                 "embedding_engine": result.config.embedding_engine,
                 "knn_backend": result.config.knn_backend,
+                "refinement_backend": result.config.refinement_backend,
                 "engine_stats": result.engine_stats,
-                # One number for "how often did the warm path bail": dense
-                # fallbacks (incremental engine) + churn rebuilds (multilevel).
+                # One number for "how often did the fast path bail": dense
+                # fallbacks (incremental engine) + churn rebuilds + rejected
+                # mixed-precision refinement levels (multilevel).
                 "engine_fallbacks": int(engine_stats.get("fallbacks", 0) or 0)
-                + int(engine_stats.get("churn_rebuilds", 0) or 0),
+                + int(engine_stats.get("churn_rebuilds", 0) or 0)
+                + int(engine_stats.get("chebyshev_fallbacks", 0) or 0),
                 "profile": profile_file,
                 "trace": (
                     str(trace_paths["trace"]) if trace_paths is not None else None

@@ -68,6 +68,27 @@ class SGLConfig:
         Fractional fine-edge-count drift above which the ``"multilevel"``
         engine re-runs heavy-edge matching instead of reusing the stored
         hierarchy.
+    refinement_backend:
+        Per-level refinement backend of the ``"multilevel"`` engine:
+        ``"lobpcg"`` (default), ``"inverse-power"`` (block PINVIT) or
+        ``"chebyshev"`` (mixed-precision Chebyshev-filtered subspace
+        iteration with float64 acceptance; see
+        :mod:`repro.linalg.chebyshev`).
+    refine_dtype:
+        Filtering precision for ``refinement_backend="chebyshev"``:
+        ``"float32"`` (default; the memory-bound filter matvecs run at half
+        traffic) or ``"float64"``.  Acceptance is always float64.
+    linalg_backend:
+        Compute backend for the chebyshev filter, one of
+        :data:`repro.linalg.backends.BACKEND_NAMES` (``"numpy"`` default;
+        ``"auto"`` prefers cupy when importable; ``"cupy"`` requires it).
+    sensitivity_samples:
+        ``None`` (default) keeps the paper's exact per-edge sensitivity
+        pass (Step 3).  A positive int opts into the Hutchinson-style
+        stochastic estimator: embedding and data distances are compared
+        through that many random-sign probe columns instead of all ``r-1``
+        eigenvectors / all measurement columns (see
+        :func:`repro.core.sensitivity.edge_sensitivities`).
     edge_scaling:
         Whether to apply Step 5 spectral edge scaling when current
         measurements are available.
@@ -108,6 +129,10 @@ class SGLConfig:
     embedding_engine: str = "incremental"
     multilevel_coarse_size: int = 400
     multilevel_churn_threshold: float = 0.1
+    refinement_backend: str = "lobpcg"
+    refine_dtype: str = "float32"
+    linalg_backend: str = "numpy"
+    sensitivity_samples: int | None = None
     edge_scaling: bool = True
     initial_graph: str = "mst"
     track_objective: bool = False
@@ -139,6 +164,14 @@ class SGLConfig:
             )
         if self.multilevel_churn_threshold < 0:
             raise ValueError("multilevel_churn_threshold must be non-negative")
+        if self.refinement_backend not in {"lobpcg", "inverse-power", "chebyshev"}:
+            raise ValueError(f"unknown refinement_backend {self.refinement_backend!r}")
+        if self.refine_dtype not in {"float32", "float64"}:
+            raise ValueError("refine_dtype must be 'float32' or 'float64'")
+        if self.linalg_backend not in {"auto", "numpy", "cupy"}:
+            raise ValueError(f"unknown linalg_backend {self.linalg_backend!r}")
+        if self.sensitivity_samples is not None and self.sensitivity_samples < 1:
+            raise ValueError("sensitivity_samples must be None or at least 1")
         if self.objective_eigenvalues < 1:
             raise ValueError("objective_eigenvalues must be at least 1")
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.embedding.spectral import SpectralEmbedding
+from repro.measurements.jl import jl_projection_matrix
 
 __all__ = [
     "data_distances_squared",
@@ -27,6 +28,21 @@ __all__ = [
     "eigenvalue_perturbations",
     "sgl_edge_weights",
 ]
+
+
+def _sketch_columns(matrix: np.ndarray, n_samples: int, seed: int | None) -> np.ndarray:
+    """Hutchinson-style column sketch: ``matrix @ R`` with random-sign probes.
+
+    ``R`` has shape ``(n_columns, n_samples)`` with entries
+    ``+-1/sqrt(n_samples)``, so for any row-difference vector ``v``,
+    ``E[||v @ R||^2] = ||v||^2`` — squared pair distances computed from the
+    sketched matrix are unbiased estimates of the exact ones.  When the
+    sketch would not shrink the matrix it is returned unchanged.
+    """
+    n_columns = matrix.shape[1]
+    if n_samples >= n_columns:
+        return matrix
+    return matrix @ jl_projection_matrix(n_columns, n_samples, seed=seed)
 
 
 def data_distances_squared(voltages: np.ndarray, pairs: np.ndarray) -> np.ndarray:
@@ -59,6 +75,9 @@ def edge_sensitivities(
     embedding: SpectralEmbedding,
     voltages: np.ndarray,
     pairs: np.ndarray,
+    *,
+    n_samples: int | None = None,
+    seed: int | None = 0,
 ) -> np.ndarray:
     """Edge sensitivities ``s_st = dF / dw_st ~= z_emb - z_data / M`` (Eq. 13).
 
@@ -66,12 +85,55 @@ def edge_sensitivities(
     Lasso objective (the embedding distance between its endpoints is still
     larger than the measured data distance); the SGL loop adds the largest
     ones each iteration.
+
+    ``n_samples`` opts into the Hutchinson-style stochastic estimator
+    (``SGLConfig.sensitivity_samples``): instead of touching all ``M``
+    measurement columns (and all embedding coordinates) per candidate edge,
+    both matrices are first compressed through random-sign probe sketches of
+    that many columns, an unbiased estimate of the exact squared distances.
+    ``None`` (default) keeps the exact pass.
+
+    Examples
+    --------
+    The estimator is unbiased, so with enough probes the ranking agrees
+    with the exact pass:
+
+    >>> import numpy as np
+    >>> from repro.core.sensitivity import edge_sensitivities
+    >>> from repro.embedding.spectral import SpectralEmbedding
+    >>> rng = np.random.default_rng(0)
+    >>> coords = rng.standard_normal((30, 4))
+    >>> emb = SpectralEmbedding(
+    ...     eigenvalues=np.ones(4), eigenvectors=coords,
+    ...     coordinates=coords, sigma_sq=float("inf"),
+    ... )
+    >>> voltages = rng.standard_normal((30, 64))
+    >>> pairs = np.array([[0, 1], [2, 3], [4, 5]])
+    >>> exact = edge_sensitivities(emb, voltages, pairs)
+    >>> approx = edge_sensitivities(emb, voltages, pairs, n_samples=48, seed=1)
+    >>> bool(np.allclose(exact, approx, atol=1.0))
+    True
     """
     voltages = np.asarray(voltages, dtype=np.float64)
     pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+    n_measurements = voltages.shape[1]
+    if n_samples is not None:
+        if n_samples < 1:
+            raise ValueError("n_samples must be None or at least 1")
+        # Sketch before differencing: z_data/M is preserved in expectation
+        # because the probe matrix is scaled by 1/sqrt(n_samples) and the
+        # 1/M normalisation is applied to the *exact* column count below.
+        voltages_sk = _sketch_columns(voltages, n_samples, seed)
+        coords_sk = _sketch_columns(
+            np.asarray(embedding.coordinates, dtype=np.float64), n_samples, seed
+        )
+        diffs = coords_sk[pairs[:, 0]] - coords_sk[pairs[:, 1]]
+        z_emb = np.einsum("ij,ij->i", diffs, diffs)
+        z_data = data_distances_squared(voltages_sk, pairs)
+        return z_emb - z_data / n_measurements
     z_emb = embedding.pair_distances_squared(pairs)
     z_data = data_distances_squared(voltages, pairs)
-    return z_emb - z_data / voltages.shape[1]
+    return z_emb - z_data / n_measurements
 
 
 def spectral_embedding_distortion(

@@ -297,6 +297,9 @@ class SGLearner:
                 sigma_sq=config.sigma_sq,
                 coarse_size=config.multilevel_coarse_size,
                 churn_threshold=config.multilevel_churn_threshold,
+                refinement=config.refinement_backend,
+                refine_dtype=config.refine_dtype,
+                linalg_backend=config.linalg_backend,
                 seed=config.seed,
             )
         added_edges: np.ndarray | None = None
@@ -347,7 +350,13 @@ class SGLearner:
                             multilevel_coarse_size=config.multilevel_coarse_size,
                         )
                 with timings.stage("sensitivity"):
-                    sensitivities = edge_sensitivities(embedding, voltages, pool_edges)
+                    sensitivities = edge_sensitivities(
+                        embedding,
+                        voltages,
+                        pool_edges,
+                        n_samples=config.sensitivity_samples,
+                        seed=config.seed,
+                    )
                 max_sensitivity = float(sensitivities.max())
 
                 objective = None

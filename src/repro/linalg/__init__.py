@@ -12,8 +12,25 @@ Laplacians (singular, symmetric, diagonally dominant M-matrices):
   :mod:`repro.linalg.coarsening`;
 * effective-resistance computations (exact and Johnson-Lindenstrauss
   approximated) -- :mod:`repro.linalg.pseudoinverse`.
+
+The dense/sparse primitives behind the multilevel refinement inner loops are
+pluggable through :mod:`repro.linalg.backends` (numpy default, cupy when
+available), and :mod:`repro.linalg.chebyshev` provides the mixed-precision
+Chebyshev-filtered subspace iteration built on them.
 """
 
+from repro.linalg.backends import (
+    LinalgBackend,
+    LinalgBackendError,
+    available_backends,
+    get_backend,
+)
+from repro.linalg.chebyshev import (
+    ChebyshevOutcome,
+    chebyshev_filter,
+    chebyshev_refine,
+    lanczos_spectral_bound,
+)
 from repro.linalg.solvers import LaplacianSolver
 from repro.linalg.conjugate_gradient import conjugate_gradient
 from repro.linalg.preconditioners import (
@@ -29,7 +46,7 @@ from repro.linalg.coarsening import (
     contract_graph,
     heavy_edge_matching,
 )
-from repro.linalg.multilevel import MultilevelEigensolver
+from repro.linalg.multilevel import REFINEMENT_BACKENDS, MultilevelEigensolver
 from repro.linalg.pseudoinverse import (
     effective_resistance,
     effective_resistance_matrix,
@@ -38,6 +55,15 @@ from repro.linalg.pseudoinverse import (
 )
 
 __all__ = [
+    "ChebyshevOutcome",
+    "LinalgBackend",
+    "LinalgBackendError",
+    "REFINEMENT_BACKENDS",
+    "available_backends",
+    "chebyshev_filter",
+    "chebyshev_refine",
+    "get_backend",
+    "lanczos_spectral_bound",
     "LaplacianSolver",
     "conjugate_gradient",
     "jacobi_preconditioner",

@@ -1,0 +1,243 @@
+"""Pluggable dense/sparse compute backends for the linalg layer.
+
+The refinement inner loops of the multilevel eigensolver are a handful of
+array primitives — sparse-matrix-times-block products, tall-skinny QR, small
+dense eigenproblems and solves — applied to backend-native arrays.  This
+module factors those primitives into a :class:`LinalgBackend` protocol with
+two implementations:
+
+* :class:`NumpyBackend` -- numpy + scipy.sparse, always available, the
+  default and the reference the others are tested against;
+* :class:`CupyBackend` -- cupy + cupyx.scipy.sparse, registered lazily and
+  *detected* at lookup time: on machines without a GPU stack the backend is
+  simply listed as unavailable (``available_backends()["cupy"] is False``)
+  and requesting it raises :class:`LinalgBackendError` with an actionable
+  message — importing this module never fails.
+
+The design follows :mod:`repro.knn.backends` (the Step-1 search backends):
+one name per strategy, a :func:`get_backend` entry point with an ``"auto"``
+policy, and every consumer (the Chebyshev filter in
+:mod:`repro.linalg.chebyshev`, ``SGLConfig.linalg_backend``) speaking the
+same names.  Arrays cross the boundary through :meth:`LinalgBackend.asarray`
+/ :meth:`LinalgBackend.to_numpy`, so a caller holding numpy data runs
+unchanged on any backend.
+
+Examples
+--------
+>>> from repro.linalg.backends import available_backends, get_backend
+>>> available_backends()["numpy"]
+True
+>>> backend = get_backend("auto")   # cupy when importable, else numpy
+>>> backend.name in {"numpy", "cupy"}
+True
+>>> import numpy as np
+>>> q, r = backend.qr(backend.asarray(np.eye(3)[:, :2]))
+>>> backend.to_numpy(q).shape
+(3, 2)
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = [
+    "BACKEND_NAMES",
+    "CupyBackend",
+    "LinalgBackend",
+    "LinalgBackendError",
+    "NumpyBackend",
+    "available_backends",
+    "get_backend",
+]
+
+#: Names accepted by :func:`get_backend` and ``SGLConfig.linalg_backend``.
+BACKEND_NAMES: tuple[str, ...] = ("auto", "numpy", "cupy")
+
+
+class LinalgBackendError(RuntimeError):
+    """A requested compute backend is unknown or not usable on this machine."""
+
+
+@runtime_checkable
+class LinalgBackend(Protocol):
+    """Array-API-style primitives the linalg inner loops are written against.
+
+    Implementations operate on *backend-native* arrays (numpy ``ndarray``,
+    cupy ``ndarray``); only :meth:`asarray` and :meth:`sparse` ingest foreign
+    data and only :meth:`to_numpy` exports it.
+    """
+
+    name: str
+
+    def asarray(self, array, dtype=None):
+        """Backend-native dense array (copying only when needed)."""
+        ...
+
+    def to_numpy(self, array) -> np.ndarray:
+        """Export a backend-native dense array as numpy."""
+        ...
+
+    def sparse(self, matrix: sp.spmatrix, dtype=None):
+        """Backend-native CSR copy of a scipy sparse matrix."""
+        ...
+
+    def matvec(self, matrix, vector):
+        """``matrix @ vector`` for a backend-native sparse matrix."""
+        ...
+
+    def spmm(self, matrix, block):
+        """``matrix @ block`` (sparse times dense block)."""
+        ...
+
+    def qr(self, block):
+        """Reduced QR of a tall-skinny block: ``(q, r)``."""
+        ...
+
+    def eigh(self, matrix):
+        """Eigendecomposition of a small symmetric dense matrix."""
+        ...
+
+    def solve(self, matrix, rhs):
+        """Dense solve ``matrix x = rhs`` (small systems)."""
+        ...
+
+
+class NumpyBackend:
+    """The default CPU backend: numpy dense + scipy.sparse CSR."""
+
+    name = "numpy"
+
+    def asarray(self, array, dtype=None):
+        return np.asarray(array, dtype=dtype)
+
+    def to_numpy(self, array) -> np.ndarray:
+        return np.asarray(array)
+
+    def sparse(self, matrix: sp.spmatrix, dtype=None):
+        csr = sp.csr_matrix(matrix)
+        if dtype is not None and csr.dtype != np.dtype(dtype):
+            csr = csr.astype(dtype)
+        return csr
+
+    def matvec(self, matrix, vector):
+        return matrix @ vector
+
+    def spmm(self, matrix, block):
+        return matrix @ block
+
+    def qr(self, block):
+        return np.linalg.qr(block)
+
+    def eigh(self, matrix):
+        return np.linalg.eigh(matrix)
+
+    def solve(self, matrix, rhs):
+        return np.linalg.solve(matrix, rhs)
+
+
+class CupyBackend:
+    """GPU backend over cupy; constructing it requires a working CUDA stack."""
+
+    name = "cupy"
+
+    def __init__(self) -> None:
+        try:
+            import cupy
+            import cupyx.scipy.sparse as cusparse
+        except Exception as exc:  # pragma: no cover - exercised without cupy
+            raise LinalgBackendError(
+                "the 'cupy' linalg backend needs cupy (and a CUDA runtime); "
+                f"import failed: {exc!r}. Use linalg_backend='numpy' or 'auto'."
+            ) from exc
+        self._cupy = cupy
+        self._cusparse = cusparse
+
+    # Everything below runs only when cupy imported successfully, which no
+    # CI machine of this repo has — keep the mapping straightforward.
+    def asarray(self, array, dtype=None):  # pragma: no cover
+        return self._cupy.asarray(array, dtype=dtype)
+
+    def to_numpy(self, array) -> np.ndarray:  # pragma: no cover
+        return self._cupy.asnumpy(array)
+
+    def sparse(self, matrix: sp.spmatrix, dtype=None):  # pragma: no cover
+        csr = sp.csr_matrix(matrix)
+        if dtype is not None and csr.dtype != np.dtype(dtype):
+            csr = csr.astype(dtype)
+        return self._cusparse.csr_matrix(csr)
+
+    def matvec(self, matrix, vector):  # pragma: no cover
+        return matrix @ vector
+
+    def spmm(self, matrix, block):  # pragma: no cover
+        return matrix @ block
+
+    def qr(self, block):  # pragma: no cover
+        return self._cupy.linalg.qr(block)
+
+    def eigh(self, matrix):  # pragma: no cover
+        return self._cupy.linalg.eigh(matrix)
+
+    def solve(self, matrix, rhs):  # pragma: no cover
+        return self._cupy.linalg.solve(matrix, rhs)
+
+
+_FACTORIES = {"numpy": NumpyBackend, "cupy": CupyBackend}
+_CACHE: dict[str, LinalgBackend] = {}
+
+
+def _probe(name: str) -> LinalgBackend | None:
+    """Construct-and-cache a backend, or None when it cannot be built."""
+    if name in _CACHE:
+        return _CACHE[name]
+    try:
+        backend = _FACTORIES[name]()
+    except LinalgBackendError:
+        return None
+    _CACHE[name] = backend
+    return backend
+
+
+def available_backends() -> dict[str, bool]:
+    """Usability of every known backend on this machine.
+
+    Examples
+    --------
+    >>> from repro.linalg.backends import available_backends
+    >>> sorted(available_backends())
+    ['cupy', 'numpy']
+    """
+    return {name: _probe(name) is not None for name in _FACTORIES}
+
+
+def get_backend(name: str = "auto") -> LinalgBackend:
+    """Resolve a backend by name.
+
+    ``"auto"`` prefers cupy when it is importable (GPU memory bandwidth is
+    what the Chebyshev filter's spmm loop scales with) and falls back to
+    numpy otherwise.  Requesting ``"cupy"`` explicitly on a machine without
+    it raises :class:`LinalgBackendError` instead of an ImportError at some
+    distant call site.
+
+    Examples
+    --------
+    >>> from repro.linalg.backends import get_backend
+    >>> get_backend("numpy").name
+    'numpy'
+    """
+    if name == "auto":
+        backend = _probe("cupy")
+        return backend if backend is not None else get_backend("numpy")
+    if name not in _FACTORIES:
+        raise LinalgBackendError(
+            f"unknown linalg backend {name!r}; available: {sorted(_FACTORIES)}"
+        )
+    backend = _probe(name)
+    if backend is None:
+        # Re-construct for the informative error message.
+        _FACTORIES[name]()
+        raise LinalgBackendError(f"backend {name!r} probe failed")  # pragma: no cover
+    return backend

@@ -122,6 +122,7 @@ def _lobpcg_eigenpairs(
     seed: int | None,
     initial_vectors: np.ndarray | None,
     maxiter: int | None = None,
+    locked_vectors: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     n = lap.shape[0]
     if initial_vectors is None:
@@ -136,18 +137,60 @@ def _lobpcg_eigenpairs(
         elif initial_vectors.shape[1] > k:
             initial_vectors = initial_vectors[:, :k]
     ones = np.ones((n, 1)) / np.sqrt(n)
+    constraints = ones
+    if locked_vectors is not None and np.size(locked_vectors):
+        locked = np.asarray(locked_vectors, dtype=np.float64).reshape(n, -1)
+        constraints = np.hstack([ones, locked])
+        # Start the iteration in the orthogonal complement of the locked block.
+        initial_vectors = initial_vectors - locked @ (locked.T @ initial_vectors)
     diag = lap.diagonal()
     inv_diag = np.where(diag > 0, 1.0 / np.maximum(diag, 1e-300), 0.0)
-    precond = spla.LinearOperator((n, n), matvec=lambda v: inv_diag * v)
+    precond = spla.LinearOperator(
+        (n, n), matvec=lambda v: inv_diag * np.asarray(v).reshape(-1)
+    )
     values, vectors = spla.lobpcg(
         lap,
         initial_vectors,
         M=precond,
-        Y=ones,
+        Y=constraints,
         tol=tol if tol > 0 else 1e-8,
         maxiter=maxiter if maxiter is not None else max(200, 4 * k),
         largest=False,
     )
+    order = np.argsort(values)
+    return values[order], vectors[:, order]
+
+
+def _locked_eigenpairs(
+    lap: sp.csr_matrix,
+    k: int,
+    locked_vectors: np.ndarray,
+    tol: float,
+    seed: int | None,
+    initial_vectors: np.ndarray | None,
+    maxiter: int | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Deflated solve: freeze converged eigenvectors, compute only the rest.
+
+    The locked block is orthonormalised and kept verbatim (its eigenvalues
+    are re-read as Rayleigh quotients); the remaining pairs are computed by
+    LOBPCG constrained to the orthogonal complement of the locked block and
+    the constant vector, then the two sets are merged in ascending order.
+    """
+    n = lap.shape[0]
+    locked, _ = np.linalg.qr(
+        np.asarray(locked_vectors, dtype=np.float64).reshape(n, -1)
+    )
+    locked_values = np.einsum("ij,ij->j", locked, lap @ locked)
+    remaining = k - locked.shape[1]
+    if remaining <= 0:
+        order = np.argsort(locked_values)[:k]
+        return locked_values[order], locked[:, order]
+    new_values, new_vectors = _lobpcg_eigenpairs(
+        lap, remaining, tol, seed, initial_vectors, maxiter, locked_vectors=locked
+    )
+    values = np.concatenate([locked_values, new_values[:remaining]])
+    vectors = np.hstack([locked, new_vectors[:, :remaining]])
     order = np.argsort(values)
     return values[order], vectors[:, order]
 
@@ -162,6 +205,7 @@ def laplacian_eigenpairs(
     seed: int | None = 0,
     initial_vectors: np.ndarray | None = None,
     maxiter: int | None = None,
+    locked_vectors: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Smallest Laplacian eigenpairs, ascending.
 
@@ -194,6 +238,13 @@ def laplacian_eigenpairs(
         Iteration cap for the LOBPCG backend (default ``max(200, 4k)``).
         Warm-started calls typically pass a small cap since they only need a
         few iterations to re-converge.
+    locked_vectors:
+        Optional ``(N, m)`` block of already-converged nontrivial
+        eigenvectors to *lock*: they are returned verbatim (eigenvalues
+        re-read as Rayleigh quotients) and only the remaining ``k - m``
+        pairs are computed, by LOBPCG constrained to their orthogonal
+        complement.  Requires ``drop_trivial=True`` (the locked block is
+        assumed orthogonal to the constant vector).
 
     Returns
     -------
@@ -226,6 +277,18 @@ def laplacian_eigenpairs(
     ... )
     >>> bool(np.allclose(warm, exact, atol=1e-6))
     True
+
+    Locked vectors are frozen: they come back verbatim and only the missing
+    pairs are solved for in their orthogonal complement:
+
+    >>> exact3, exact3_vectors = laplacian_eigenpairs(grid, 3, method="dense")
+    >>> locked_vals, locked_vecs = laplacian_eigenpairs(
+    ...     grid, 3, locked_vectors=exact3_vectors[:, :2]
+    ... )
+    >>> bool(np.allclose(locked_vecs[:, :2], exact3_vectors[:, :2]))
+    True
+    >>> bool(np.allclose(locked_vals, exact3, atol=1e-5))
+    True
     """
     lap = _as_laplacian(graph_or_laplacian).tocsr()
     n = lap.shape[0]
@@ -233,6 +296,12 @@ def laplacian_eigenpairs(
         raise ValueError("need at least two nodes for nontrivial eigenpairs")
     if k < 1:
         raise ValueError("k must be at least 1")
+    if locked_vectors is not None and np.size(locked_vectors):
+        if not drop_trivial:
+            raise ValueError("locked_vectors requires drop_trivial=True")
+        return _locked_eigenpairs(
+            lap, k, locked_vectors, tol, seed, initial_vectors, maxiter
+        )
 
     n_wanted = k + 1 if drop_trivial else k
     n_wanted = min(n_wanted, n)

@@ -27,6 +27,10 @@ __all__ = ["jacobi_preconditioner", "spanning_tree_preconditioner"]
 def jacobi_preconditioner(matrix: sp.spmatrix | np.ndarray) -> Callable[[np.ndarray], np.ndarray]:
     """Return a callable applying ``diag(A)^{-1}`` (zeros left untouched).
 
+    The apply accepts a single vector ``(n,)`` or a block ``(n, m)`` of
+    right-hand sides and preserves the input's shape, so it can serve as
+    both the ``matvec`` and ``matmat`` of a ``LinearOperator``.
+
     Examples
     --------
     >>> import numpy as np
@@ -40,7 +44,10 @@ def jacobi_preconditioner(matrix: sp.spmatrix | np.ndarray) -> Callable[[np.ndar
     inv_diag = np.where(diag > 0, 1.0 / np.maximum(diag, 1e-300), 0.0)
 
     def apply(vector: np.ndarray) -> np.ndarray:
-        return inv_diag * np.asarray(vector, dtype=np.float64).ravel()
+        v = np.asarray(vector, dtype=np.float64)
+        if v.ndim == 1:
+            return inv_diag * v
+        return inv_diag[:, None] * v
 
     return apply
 
@@ -64,6 +71,12 @@ def spanning_tree_preconditioner(
         the graph in the support-theory sense).
     ground_node:
         Node grounded when factorising the tree Laplacian.
+
+    The returned apply accepts a single vector ``(n,)`` or a block
+    ``(n, m)`` of right-hand sides and preserves the input's shape.  Block
+    applies go through one grounded factorisation solve, which keeps a
+    block eigensolver's preconditioning out of the per-column Python
+    dispatch a ``LinearOperator`` falls back to without a ``matmat``.
 
     Examples
     --------
@@ -90,15 +103,19 @@ def spanning_tree_preconditioner(
     keep[ground_node] = False
     tree_lap = tree.laplacian()
     if n == 1:
-        return lambda v: np.zeros(1)
+        return lambda v: np.zeros_like(np.asarray(v, dtype=np.float64))
     reduced = tree_lap[keep][:, keep].tocsc()
     lu = spla.splu(reduced)
 
     def apply(vector: np.ndarray) -> np.ndarray:
-        v = np.asarray(vector, dtype=np.float64).ravel()
-        v = v - v.mean()
-        out = np.zeros(n)
+        v = np.asarray(vector, dtype=np.float64)
+        one_d = v.ndim == 1
+        if one_d:
+            v = v[:, None]
+        v = v - v.mean(axis=0, keepdims=True)
+        out = np.zeros_like(v)
         out[keep] = lu.solve(v[keep])
-        return out - out.mean()
+        out -= out.mean(axis=0, keepdims=True)
+        return out[:, 0] if one_d else out
 
     return apply

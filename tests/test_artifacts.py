@@ -1,6 +1,7 @@
 """Tests for repro.artifacts: round-trip exactness, validation, checksums."""
 
 import json
+import struct
 import zipfile
 
 import numpy as np
@@ -126,7 +127,15 @@ class TestChecksum:
     def test_bitflip_tamper_detected(self, learned, tmp_path):
         path = save_result(learned, tmp_path / "m.npz")
         raw = bytearray(path.read_bytes())
-        raw[len(raw) // 2] ^= 0xFF
+        # Flip a byte provably inside a payload member's compressed
+        # stream (a flip landing in redundant zip structure — e.g. the
+        # local-header copy of a CRC — changes no stored data and is
+        # legitimately invisible to the loader).
+        with zipfile.ZipFile(path) as archive:
+            info = archive.getinfo("graph_weights.npy")
+        name_len, extra_len = struct.unpack_from("<HH", raw, info.header_offset + 26)
+        data_start = info.header_offset + 30 + name_len + extra_len
+        raw[data_start + info.compress_size // 2] ^= 0xFF
         bad = tmp_path / "flip.npz"
         bad.write_bytes(bytes(raw))
         with pytest.raises(ArtifactFormatError):

@@ -121,6 +121,51 @@ def test_compare_flags_time_regression(tiny_records):
     assert compare(slowed, baseline).ok
 
 
+def _synthetic_record(embedding_seconds):
+    """Hand-built schema-v1 record for stage-gate tests (stable timings)."""
+    return {
+        "scenario": "synthetic/unit",
+        "method": "sgl",
+        "n_nodes": 100,
+        "n_edges_true": 200,
+        "n_measurements": 50,
+        "wall_seconds": [2.0],
+        "stage_seconds": {
+            "embedding": {"seconds": embedding_seconds, "calls": 10},
+            "sensitivity": {"seconds": 0.5, "calls": 10},
+        },
+        "quality": {"resistance_correlation": 0.9, "density": 1.0},
+        "info": {},
+    }
+
+
+def test_compare_flags_stage_regression():
+    # Total wall time is identical on both sides: only the per-stage gate
+    # can see the 30 % embedding slowdown.
+    baseline = make_artifact("unit", [_synthetic_record(1.0)])
+    candidate = make_artifact("unit", [_synthetic_record(1.3)])
+    report = compare(baseline, candidate)
+    assert not report.ok
+    assert [reg.kind for reg in report.regressions] == ["stage"]
+    assert "embedding" in report.regressions[0].message
+    # Self-compare and the speed-up direction both pass.
+    assert compare(baseline, baseline).ok
+    assert compare(candidate, baseline).ok
+
+
+def test_compare_stage_gate_exempts_fast_stages_and_notes_new_stages():
+    base = _synthetic_record(1.0)
+    cand = _synthetic_record(1.0)
+    # 9x slower but under min_seconds: timer noise, exempt.
+    base["stage_seconds"]["knn"] = {"seconds": 0.001, "calls": 1}
+    cand["stage_seconds"]["knn"] = {"seconds": 0.009, "calls": 1}
+    # A stage present on one side only is a note, not a failure.
+    cand["stage_seconds"]["serve"] = {"seconds": 0.2, "calls": 1}
+    report = compare(make_artifact("unit", [base]), make_artifact("unit", [cand]))
+    assert report.ok
+    assert any("serve" in note for note in report.notes)
+
+
 def test_compare_flags_quality_regression(tiny_records):
     baseline = make_artifact("unit", tiny_records)
     worse = json.loads(json.dumps(baseline))

@@ -260,6 +260,10 @@ def test_engine_stats_dict_round_trip():
         "reprojections",
         "dense_solves",
         "n_levels",
+        "chebyshev_accepts",
+        "chebyshev_fallbacks",
+        "chebyshev_bypasses",
+        "refresh_skips",
     }
 
 
