@@ -212,6 +212,21 @@ def build_parser() -> argparse.ArgumentParser:
                          help="trace the serving paths with repro.obs; "
                          "per-scenario artifacts land in DIR "
                          "(serve_<scenario>.jsonl + metrics/resources)")
+    p_serve.add_argument(
+        "--load",
+        action="store_true",
+        help="after the standard three paths, run a load-test sweep: mixed "
+        "resistance/neighbors/labels workloads driven closed-loop at each "
+        "--concurrency level, one serve_load_c<N> record (qps/p50/p99) per "
+        "level",
+    )
+    p_serve.add_argument(
+        "--concurrency",
+        default="8,64,512",
+        metavar="N,N,...",
+        help="comma-separated concurrent-client counts for the --load sweep "
+        "(default 8,64,512)",
+    )
 
     p_cmp = sub.add_parser(
         "compare",
@@ -412,6 +427,21 @@ def _cmd_serve(args) -> int:
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
+    load_concurrency = None
+    if args.load:
+        try:
+            load_concurrency = [
+                int(level) for level in args.concurrency.split(",") if level.strip()
+            ]
+            if not load_concurrency or min(load_concurrency) < 1:
+                raise ValueError
+        except ValueError:
+            print(
+                "error: --concurrency must be a comma-separated list of "
+                "positive integers",
+                file=sys.stderr,
+            )
+            return 2
 
     def progress(name, records):
         by_method = {record.method: record for record in records}
@@ -426,6 +456,14 @@ def _cmd_serve(args) -> int:
             f"service {service.quality['qps']:8.1f} q/s "
             f"p99={service.quality['p99_ms']:.2f}ms"
         )
+        for record in records:
+            if record.method.startswith("serve_load_c"):
+                print(
+                    f"    load c={record.info['concurrency']:<5d} "
+                    f"{record.quality['qps']:8.1f} q/s  "
+                    f"p50={record.quality['p50_ms']:.2f}ms  "
+                    f"p99={record.quality['p99_ms']:.2f}ms"
+                )
 
     print(
         f"serve bench: {len(scenarios)} scenario(s), "
@@ -442,6 +480,7 @@ def _cmd_serve(args) -> int:
         seed=args.seed,
         artifact_dir=args.artifact_dir,
         trace_dir=args.trace,
+        load_concurrency=load_concurrency,
         progress=progress,
     )
     elapsed = time.perf_counter() - start
@@ -457,6 +496,7 @@ def _cmd_serve(args) -> int:
             "workers": args.workers,
             "seed": args.seed,
             "trace": args.trace,
+            "load_concurrency": load_concurrency,
         },
     )
     path = save_artifact(artifact, out)

@@ -48,6 +48,15 @@ from repro.serve.session import GraphSession
 
 __all__ = ["run_serve_bench", "serve_records_for_scenario"]
 
+#: Default concurrency sweep for ``--load`` (clients driving the service
+#: closed-loop at once).  Spans idle (adaptive flush dominates) through
+#: saturated (size-cap flushes dominate).
+DEFAULT_LOAD_CONCURRENCY: tuple[int, ...] = (8, 64, 512)
+
+#: Mixed-workload composition for ``--load``: share of resistance /
+#: neighbors / labels requests.
+LOAD_MIX: tuple[float, float, float] = (0.5, 0.25, 0.25)
+
 
 def _record(
     spec,
@@ -88,8 +97,15 @@ def serve_records_for_scenario(
     seed: int = 0,
     artifact_dir: str | Path | None = None,
     trace_dir: str | Path | None = None,
+    load_concurrency: tuple[int, ...] | list[int] | None = None,
 ) -> list[BenchRecord]:
     """Benchmark serving one scenario; returns naive/batched/service records.
+
+    With ``load_concurrency`` (a list of client counts), a load-test sweep
+    runs after the three standard paths: for each level ``C``, ``C``
+    closed-loop clients drive a *mixed* resistance/neighbors/labels
+    workload (:data:`LOAD_MIX`) through the service, producing one
+    ``serve_load_c<C>`` record with qps / p50 / p99 per level.
 
     The learned artifact is written under ``artifact_dir`` as
     ``<scenario>.npz`` and left in place when an explicit directory was
@@ -115,7 +131,7 @@ def serve_records_for_scenario(
             spec, truth, measurements, artifact_path,
             n_queries=n_queries, batch_size=batch_size,
             max_delay_ms=max_delay_ms, workers=workers, seed=seed,
-            trace_dir=trace_dir,
+            trace_dir=trace_dir, load_concurrency=load_concurrency,
         )
     finally:
         if cleanup_dir is not None:
@@ -134,6 +150,7 @@ def _serve_records(
     workers: int,
     seed: int,
     trace_dir: str | Path | None = None,
+    load_concurrency: tuple[int, ...] | list[int] | None = None,
 ) -> list[BenchRecord]:
     obs = ObsSession() if trace_dir is not None else None
     if obs is not None:
@@ -144,6 +161,7 @@ def _serve_records(
             n_queries=n_queries, batch_size=batch_size,
             max_delay_ms=max_delay_ms, workers=workers, seed=seed,
             metrics=obs.metrics if obs is not None else None,
+            load_concurrency=load_concurrency,
         )
     finally:
         if obs is not None:
@@ -169,6 +187,7 @@ def _serve_records_body(
     workers: int,
     seed: int,
     metrics=None,
+    load_concurrency: tuple[int, ...] | list[int] | None = None,
 ) -> list[BenchRecord]:
 
     learn_start = time.perf_counter()
@@ -265,7 +284,6 @@ def _serve_records_body(
     if not np.allclose(service_values, naive_values, rtol=1e-7, atol=1e-10):
         raise RuntimeError("service resistances diverged from the naive solves")
     batching = service.stats()["batching"]
-    service.close()
     records.append(
         _record(
             spec, "serve_service", truth.n_nodes, truth.n_edges,
@@ -281,7 +299,100 @@ def _serve_records_body(
             },
         )
     )
+
+    # --- load sweep: mixed workload at controlled concurrency -------------
+    if load_concurrency:
+        session = service.session(artifact_path)
+        requests = _mixed_workload(
+            session.n_nodes, n_queries, seed=seed,
+            with_neighbors=session.has_embedding,
+        )
+        for level in load_concurrency:
+            level = int(level)
+            with obs_span("serve_load", n_queries=n_queries, concurrency=level):
+                latencies, wall = asyncio.run(
+                    _drive_load(service, artifact_path, requests, level)
+                )
+            p50, p99 = latency_percentiles_ms(latencies)
+            mix = {
+                kind: sum(1 for k, _, _ in requests if k == kind)
+                for kind in ("resistance", "neighbors", "labels")
+            }
+            records.append(
+                _record(
+                    spec, f"serve_load_c{level}", truth.n_nodes, truth.n_edges,
+                    seconds=wall, n_queries=n_queries,
+                    p50_ms=p50, p99_ms=p99,
+                    info={**base_info, "concurrency": level, "mix": mix},
+                )
+            )
+            records[-1].quality["concurrency"] = level
+    service.close()
     return records
+
+
+def _mixed_workload(
+    n_nodes: int, n_queries: int, *, seed: int, with_neighbors: bool = True
+) -> list[tuple]:
+    """The ``--load`` request mix: ``(kind, payload, options)`` triples.
+
+    Composition follows :data:`LOAD_MIX`; artifacts saved without an
+    embedding fold the neighbors share into resistance.  Half the
+    non-default-free requests pass their options explicitly (``k=5``,
+    ``n_clusters=8``) — identical in meaning to the omitted form, and the
+    batcher's key normalisation must coalesce both spellings into the same
+    batches.
+    """
+    rng = np.random.default_rng(seed)
+    probs = list(LOAD_MIX)
+    if not with_neighbors:
+        probs = [probs[0] + probs[1], 0.0, probs[2]]
+    kinds = rng.choice(3, size=n_queries, p=probs)
+    pairs = sample_node_pairs(n_nodes, n_queries, seed=seed + 1)
+    nodes = rng.integers(0, n_nodes, size=n_queries)
+    explicit = rng.random(n_queries) < 0.5
+    requests: list[tuple] = []
+    for idx in range(n_queries):
+        if kinds[idx] == 0:
+            requests.append(
+                ("resistance", (int(pairs[idx, 0]), int(pairs[idx, 1])), {})
+            )
+        elif kinds[idx] == 1:
+            options = {"k": 5} if explicit[idx] else {}
+            requests.append(("neighbors", int(nodes[idx]), options))
+        else:
+            options = {"n_clusters": 8} if explicit[idx] else {}
+            requests.append(("labels", int(nodes[idx]), options))
+    return requests
+
+
+async def _drive_load(
+    service: GraphService, path, requests: list[tuple], concurrency: int
+) -> tuple[list[float], float]:
+    """Drive ``requests`` through ``service`` with ``concurrency`` clients.
+
+    Closed-loop load generation: each of the ``concurrency`` worker
+    coroutines claims the next request, awaits its result, then claims
+    another — so at most ``concurrency`` requests are in flight, and the
+    measured per-request latency includes queue wait under exactly that
+    offered load.  Returns ``(per-request latencies in seconds, wall)``.
+    """
+    latencies = [0.0] * len(requests)
+    pending = iter(range(len(requests)))
+
+    async def client():
+        for idx in pending:  # shared iterator: each index claimed once
+            kind, payload, options = requests[idx]
+            t0 = time.perf_counter()
+            await service.query(path, kind, payload, **options)
+            latencies[idx] = time.perf_counter() - t0
+
+    start = time.perf_counter()
+    await asyncio.gather(
+        *(client() for _ in range(max(1, min(concurrency, len(requests)))))
+    )
+    await service.drain()
+    return latencies, time.perf_counter() - start
 
 
 def run_serve_bench(
@@ -294,6 +405,7 @@ def run_serve_bench(
     seed: int = 0,
     artifact_dir: str | Path | None = None,
     trace_dir: str | Path | None = None,
+    load_concurrency: tuple[int, ...] | list[int] | None = None,
     progress=None,
 ) -> list[BenchRecord]:
     """Run the serve benchmark over several scenarios (see module docs)."""
@@ -308,6 +420,7 @@ def run_serve_bench(
             seed=seed,
             artifact_dir=artifact_dir,
             trace_dir=trace_dir,
+            load_concurrency=load_concurrency,
         )
         all_records.extend(records)
         if progress is not None:

@@ -39,6 +39,11 @@ import json
 import threading
 from pathlib import Path
 
+try:  # numpy accelerates batch observation; the fallback is pure-python
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a repo-wide dependency
+    _np = None
+
 __all__ = [
     "Counter",
     "DEFAULT_SIZE_BUCKETS",
@@ -79,6 +84,17 @@ class Counter:
             raise ValueError("counters only go up; use a gauge")
         with self._lock:
             self._value += amount
+
+    def inc_relaxed(self, amount: float = 1.0) -> None:
+        """Lock-free increment for single-writer counters.
+
+        Correct only while exactly one thread ever increments this counter
+        (e.g. the event-loop thread on a serving hot path); concurrent
+        readers may observe a value that lags by the in-flight update,
+        which snapshots tolerate.  Two concurrent *writers* would lose
+        updates — use :meth:`inc` there.
+        """
+        self._value += amount
 
     @property
     def value(self) -> float:
@@ -136,7 +152,10 @@ class Histogram:
     (100, 505.0, 0.1, 10.0)
     """
 
-    __slots__ = ("name", "buckets", "counts", "count", "sum", "min", "max", "_lock")
+    __slots__ = (
+        "name", "buckets", "counts", "count", "sum", "min", "max",
+        "_bucket_arr", "_lock",
+    )
 
     def __init__(self, name: str, *, buckets: tuple[float, ...] = DEFAULT_TIME_BUCKETS_MS) -> None:
         buckets = tuple(float(b) for b in buckets)
@@ -149,6 +168,7 @@ class Histogram:
         self.sum = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self._bucket_arr = _np.asarray(buckets) if _np is not None else None
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -165,6 +185,45 @@ class Histogram:
             self.sum += value
             self.min = min(self.min, value)
             self.max = max(self.max, value)
+
+    def observe_many(self, values) -> None:
+        """Record a batch of samples under one lock acquisition.
+
+        The per-request serving hot path observes whole batches at a time
+        (one queue-wait and one latency sample per coalesced request);
+        bucketing the whole batch vectorised and taking the lock once per
+        batch instead of once per sample keeps the accounting cost off the
+        event loop's critical path.  Accepts any sequence (numpy arrays
+        included).
+        """
+        if _np is not None and len(values) >= 8:
+            arr = _np.asarray(values, dtype=float)
+            if arr.size == 0:
+                return
+            per_bucket = _np.bincount(
+                _np.searchsorted(self._bucket_arr, arr, side="left"),
+                minlength=len(self.counts),
+            )
+            total, vmin, vmax = float(arr.sum()), float(arr.min()), float(arr.max())
+            with self._lock:
+                for idx in per_bucket.nonzero()[0]:
+                    self.counts[idx] += int(per_bucket[idx])
+                self.count += arr.size
+                self.sum += total
+                self.min = min(self.min, vmin)
+                self.max = max(self.max, vmax)
+            return
+        values = [float(v) for v in values]
+        if not values:
+            return
+        indices = [self._bucket_index(v) for v in values]
+        with self._lock:
+            for idx in indices:
+                self.counts[idx] += 1
+            self.count += len(values)
+            self.sum += sum(values)
+            self.min = min(self.min, min(values))
+            self.max = max(self.max, max(values))
 
     @property
     def mean(self) -> float:

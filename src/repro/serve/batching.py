@@ -6,11 +6,30 @@ factorisation traversal over the whole right-hand-side block, so ``B``
 queries solved together cost far less than ``B`` queries solved alone.  The
 :class:`MicroBatcher` implements the standard inference-serving answer:
 requests arriving concurrently on the event loop are appended to a pending
-bucket per batch key; the first request arms a deadline timer
-(``max_delay_s``); the bucket is flushed to a worker pool either when it
-reaches ``max_batch_size`` or when the deadline fires, whichever comes
-first.  Callers just ``await submit(...)`` single requests and receive
-their individual results — the batching is invisible except in throughput.
+bucket per batch key and flushed to a worker pool as a single handler call.
+Callers receive per-request futures — the batching is invisible except in
+throughput.
+
+Flushing is **adaptive** (work-conserving) by default:
+
+* a bucket flushes immediately when it reaches ``max_batch_size``;
+* while a worker slot is free, the first request of a bucket schedules a
+  flush on the *next event-loop tick* (so everything submitted in the same
+  tick still coalesces) instead of arming the ``max_delay_s`` timer — an
+  idle worker never waits out a deadline;
+* only when every worker slot is busy does the deadline timer arm, and a
+  finishing batch immediately flushes the longest-waiting bucket, so the
+  *effective* deadline is "until a worker frees up", capped at
+  ``max_delay_s``.  That is the concurrency-aware deadline: queue wait
+  tracks load instead of being a constant tax.
+
+``adaptive=False`` restores the classic flush-on-size-or-deadline batcher.
+
+The request fast path is allocation-lean by design: :meth:`submit_nowait`
+is a plain function returning an :class:`asyncio.Future`, so a caller
+fanning out thousands of requests pays one future per request — not one
+coroutine *and* one task per request, which is several times more event
+-loop work (``await batcher.submit(...)`` remains as sugar).
 
 The handler runs in an executor (default: a thread pool — the batched
 numpy/BLAS/SuperLU work releases the GIL), keeping the event loop free to
@@ -23,7 +42,9 @@ Observability (:mod:`repro.obs`) is built in:
   to flush), ``batcher.pool_wait_ms`` (flush to handler start, i.e. the
   executor hop), ``batcher.execute_ms`` (handler run), ``batcher.latency_ms``
   (submit to result) and ``batcher.batch_size`` — plus per-key-label copies
-  (``batcher.<label>.*``) when a ``key_label`` callable is given;
+  (``batcher.<label>.*``) when a ``key_label`` callable is given; handler
+  exceptions increment ``batcher.errors`` (and ``batcher.failed_requests``
+  per affected request) instead of failing silently;
 * under an active :class:`~repro.obs.Tracer`, the handler runs inside a
   ``batch.execute`` span and each request gets a ``batch.request`` span
   parented to the *submitter's* span.  ``run_in_executor`` does not carry
@@ -35,16 +56,23 @@ from __future__ import annotations
 
 import asyncio
 import contextvars
+import os
 import time
 import warnings
 from concurrent.futures import Executor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Sequence
 
+import numpy as np
+
 from repro.obs.metrics import DEFAULT_SIZE_BUCKETS, MetricsRegistry
 from repro.obs.tracing import current_span, current_tracer, span as obs_span
 
 __all__ = ["BatchStats", "MicroBatcher", "latency_percentiles_ms"]
+
+#: Shared "no active tracer" parent marker — avoids a tuple allocation per
+#: request on the untraced hot path.
+_NO_PARENT: tuple = (None, None)
 
 
 def latency_percentiles_ms(latencies: Sequence[float]) -> tuple[float, float]:
@@ -84,6 +112,8 @@ class BatchStats:
     n_batches: int = 0
     n_full_flushes: int = 0
     n_deadline_flushes: int = 0
+    n_idle_flushes: int = 0
+    n_drain_flushes: int = 0
     max_batch_size: int = 0
     batch_seconds: float = 0.0
     #: Registry holding the ``batcher.*`` histograms backing :meth:`as_dict`.
@@ -108,16 +138,20 @@ class BatchStats:
         """Average coalesced batch size."""
         return self.n_requests / self.n_batches if self.n_batches else 0.0
 
-    def record_batch(self, size: int, seconds: float, *, full: bool) -> None:
-        """Account one flushed batch."""
+    def record_batch(self, size: int, seconds: float, *, reason: str) -> None:
+        """Account one flushed batch (``reason``: full/deadline/idle/drain)."""
         self.n_requests += size
         self.n_batches += 1
         self.max_batch_size = max(self.max_batch_size, size)
         self.batch_seconds += seconds
-        if full:
+        if reason == "full":
             self.n_full_flushes += 1
-        else:
+        elif reason == "deadline":
             self.n_deadline_flushes += 1
+        elif reason == "idle":
+            self.n_idle_flushes += 1
+        else:
+            self.n_drain_flushes += 1
 
     def as_dict(self) -> dict:
         """JSON-ready summary (latency percentiles in milliseconds)."""
@@ -126,6 +160,8 @@ class BatchStats:
             "n_batches": self.n_batches,
             "n_full_flushes": self.n_full_flushes,
             "n_deadline_flushes": self.n_deadline_flushes,
+            "n_idle_flushes": self.n_idle_flushes,
+            "n_drain_flushes": self.n_drain_flushes,
             "mean_batch_size": self.mean_batch_size,
             "max_batch_size": self.max_batch_size,
             "batch_seconds": self.batch_seconds,
@@ -145,7 +181,8 @@ class BatchStats:
 
 
 class _Pending:
-    __slots__ = ("payloads", "futures", "submitted", "parents", "timer")
+    __slots__ = ("payloads", "futures", "submitted", "parents", "timer",
+                 "scheduled")
 
     def __init__(self) -> None:
         self.payloads: list[Any] = []
@@ -155,6 +192,8 @@ class _Pending:
         #: per-request ``batch.request`` span lands under the caller's span.
         self.parents: list[tuple[Any, Any]] = []
         self.timer: asyncio.TimerHandle | None = None
+        #: Whether an idle-flush callback or deadline timer is armed.
+        self.scheduled = False
 
 
 class MicroBatcher:
@@ -170,11 +209,22 @@ class MicroBatcher:
     max_batch_size:
         Flush as soon as a bucket reaches this many requests.
     max_delay_s:
-        Deadline: the longest a request waits for co-batching company.
-        0 still coalesces requests that arrive on the same loop tick.
+        Deadline cap: the longest a request waits for co-batching company
+        while every worker slot is busy.  With ``adaptive=True`` (default)
+        the deadline never applies while a worker is idle — the bucket
+        flushes on the next loop tick instead.  0 still coalesces requests
+        that arrive on the same loop tick.
     executor:
         Where handler batches run; ``None`` uses the loop's default
         thread pool.
+    concurrency:
+        Worker slots the adaptive flusher assumes: while fewer than this
+        many batches are in flight, a worker is considered idle.  Defaults
+        to the executor's thread count when discoverable, else the stdlib
+        default-pool size.
+    adaptive:
+        ``False`` restores the classic flush-on-size-or-deadline batcher
+        (every non-full bucket waits out ``max_delay_s``).
     metrics:
         :class:`~repro.obs.MetricsRegistry` receiving the ``batcher.*``
         instruments; ``None`` creates a private one (always available as
@@ -210,6 +260,8 @@ class MicroBatcher:
         max_batch_size: int = 64,
         max_delay_s: float = 0.002,
         executor: Executor | None = None,
+        concurrency: int | None = None,
+        adaptive: bool = True,
         metrics: MetricsRegistry | None = None,
         key_label: Callable[[Hashable], str] | None = None,
         max_recorded_latencies: int | None = None,
@@ -225,10 +277,21 @@ class MicroBatcher:
                 DeprecationWarning,
                 stacklevel=2,
             )
+        if concurrency is None:
+            # ThreadPoolExecutor exposes its width; the loop's default pool
+            # (executor=None) uses the stdlib sizing rule.
+            concurrency = getattr(executor, "_max_workers", None) or min(
+                32, (os.cpu_count() or 1) + 4
+            )
+        if concurrency < 1:
+            raise ValueError("concurrency must be at least 1")
         self._handler = handler
         self.max_batch_size = int(max_batch_size)
         self.max_delay_s = float(max_delay_s)
         self._executor = executor
+        self.concurrency = int(concurrency)
+        self.adaptive = bool(adaptive)
+        self._active = 0  # batches flushed but not yet finished
         self._pending: dict[Hashable, _Pending] = {}
         self._inflight: set[asyncio.Task] = set()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -236,36 +299,73 @@ class MicroBatcher:
         self.stats = BatchStats(metrics=self.metrics)
 
     # ------------------------------------------------------------------
-    async def submit(self, key: Hashable, payload: Any) -> Any:
-        """Enqueue one request under ``key``; await its individual result."""
+    def submit_nowait(self, key: Hashable, payload: Any) -> asyncio.Future:
+        """Enqueue one request under ``key``; returns its result future.
+
+        This is the serving hot path: a plain function call returning an
+        :class:`asyncio.Future`, cheap enough to fan out tens of thousands
+        of times per second (``asyncio.gather`` awaits bare futures without
+        wrapping each in a task).  Must be called on the event loop thread.
+        """
         loop = asyncio.get_running_loop()
         bucket = self._pending.get(key)
         if bucket is None:
             bucket = self._pending[key] = _Pending()
-        future: asyncio.Future = loop.create_future()
+        future = loop.create_future()
         bucket.payloads.append(payload)
         bucket.futures.append(future)
         bucket.submitted.append(time.perf_counter())
-        bucket.parents.append((current_tracer(), current_span()))
+        tracer = current_tracer()
+        bucket.parents.append(
+            _NO_PARENT if tracer is None else (tracer, current_span())
+        )
         if len(bucket.payloads) >= self.max_batch_size:
-            self._flush(key, full=True)
-        elif bucket.timer is None:
-            bucket.timer = loop.call_later(
-                self.max_delay_s, self._flush, key, False
-            )
-        return await future
+            self._flush(key, "full")
+        elif not bucket.scheduled:
+            bucket.scheduled = True
+            if self.adaptive and self._active < self.concurrency:
+                # A worker slot is free: flush on the next tick so requests
+                # submitted in the same tick still coalesce, but nobody
+                # waits out a deadline for company that is not coming.
+                loop.call_soon(self._flush_bucket, key, bucket, "idle")
+            else:
+                bucket.timer = loop.call_later(
+                    self.max_delay_s, self._flush_bucket, key, bucket,
+                    "deadline",
+                )
+        return future
 
-    def _flush(self, key: Hashable, full: bool) -> None:
+    async def submit(self, key: Hashable, payload: Any) -> Any:
+        """Enqueue one request under ``key``; await its individual result."""
+        return await self.submit_nowait(key, payload)
+
+    def _flush_bucket(self, key: Hashable, bucket: _Pending, reason: str) -> None:
+        """Flush ``bucket`` if it is still the pending bucket for ``key``.
+
+        A scheduled idle flush (or a deadline timer) can race a size-cap
+        flush that already replaced the bucket under the same key; passing
+        the bucket identity makes the stale callback a no-op.
+        """
+        if self._pending.get(key) is bucket:
+            self._flush(key, reason)
+
+    def _flush(self, key: Hashable, reason: str) -> None:
         bucket = self._pending.pop(key, None)
         if bucket is None:
             return
         if bucket.timer is not None:
             bucket.timer.cancel()
         loop = asyncio.get_running_loop()
-        task = loop.create_task(self._run_batch(key, bucket, full))
+        self._active += 1
+        task = loop.create_task(self._run_batch(key, bucket, reason))
         # Keep a reference so the task is not garbage collected mid-flight.
         self._inflight.add(task)
         task.add_done_callback(self._inflight.discard)
+
+    def _kick(self) -> None:
+        """A worker slot freed: flush waiting buckets into it immediately."""
+        while self.adaptive and self._active < self.concurrency and self._pending:
+            self._flush(next(iter(self._pending)), "idle")
 
     def _dispatch(self, key: Hashable, payloads: list) -> tuple:
         """Run the handler on the worker thread, timing its actual window.
@@ -289,7 +389,7 @@ class MicroBatcher:
                 return "unknown"
         return str(key)
 
-    async def _run_batch(self, key: Hashable, bucket: _Pending, full: bool) -> None:
+    async def _run_batch(self, key: Hashable, bucket: _Pending, reason: str) -> None:
         loop = asyncio.get_running_loop()
         flushed = time.perf_counter()
         context = contextvars.copy_context()
@@ -302,19 +402,27 @@ class MicroBatcher:
                     f"batch handler returned {len(results)} results "
                     f"for {len(bucket.payloads)} payloads"
                 )
-        except Exception as exc:  # propagate to every waiter
+        except Exception as exc:  # propagate to every waiter, visibly
+            self.metrics.counter("batcher.errors").inc()
+            self.metrics.counter("batcher.failed_requests").inc(
+                len(bucket.futures)
+            )
             for future in bucket.futures:
                 if not future.done():
                     future.set_exception(exc)
+            self._active -= 1
+            self._kick()
             return
         finished = time.perf_counter()
         self.stats.record_batch(
-            len(bucket.payloads), finished - flushed, full=full
+            len(bucket.payloads), finished - flushed, reason=reason
         )
         self._observe(key, bucket, flushed, started, executed, finished)
         for future, result in zip(bucket.futures, results):
             if not future.done():
                 future.set_result(result)
+        self._active -= 1
+        self._kick()
 
     def _observe(
         self,
@@ -329,6 +437,9 @@ class MicroBatcher:
         label = self._label(key) if self._key_label is not None else None
         prefixes = ["batcher"] if label is None else ["batcher", f"batcher.{label}"]
         size = len(bucket.payloads)
+        submitted = np.asarray(bucket.submitted)
+        queue_waits = 1e3 * (flushed - submitted)
+        latencies = 1e3 * (finished - submitted)
         for prefix in prefixes:
             hist = self.metrics.histogram
             hist(f"{prefix}.pool_wait_ms").observe(1e3 * (started - flushed))
@@ -336,11 +447,8 @@ class MicroBatcher:
             hist(
                 f"{prefix}.batch_size", buckets=DEFAULT_SIZE_BUCKETS
             ).observe(size)
-            queue_wait = hist(f"{prefix}.queue_wait_ms")
-            latency = hist(f"{prefix}.latency_ms")
-            for submitted in bucket.submitted:
-                queue_wait.observe(1e3 * (flushed - submitted))
-                latency.observe(1e3 * (finished - submitted))
+            hist(f"{prefix}.queue_wait_ms").observe_many(queue_waits)
+            hist(f"{prefix}.latency_ms").observe_many(latencies)
         self.metrics.counter("batcher.requests").inc(size)
         self.metrics.counter("batcher.batches").inc()
         for submitted, (tracer, parent) in zip(bucket.submitted, bucket.parents):
@@ -363,6 +471,42 @@ class MicroBatcher:
     async def drain(self) -> None:
         """Flush every pending bucket and wait for all in-flight batches."""
         for key in list(self._pending):
-            self._flush(key, full=False)
+            self._flush(key, "drain")
         while self._inflight:
             await asyncio.gather(*list(self._inflight), return_exceptions=True)
+
+    def shutdown(self, exc: Exception | None = None) -> int:
+        """Fail every pending, not-yet-flushed request; returns the count.
+
+        A request submitted just before the owning service closes must not
+        hang on a future nobody will ever resolve: every pending bucket's
+        futures get ``exc`` (default: a :class:`RuntimeError`), the failures
+        are counted under ``batcher.errors`` / ``batcher.failed_requests``,
+        and the armed timers are cancelled.  In-flight batches (already on
+        the executor) are unaffected — shut the executor down with
+        ``wait=True`` to let them finish.  Idempotent.
+        """
+        error = exc if exc is not None else RuntimeError(
+            "MicroBatcher shut down with pending requests"
+        )
+        failed = 0
+        for key in list(self._pending):
+            bucket = self._pending.pop(key)
+            if bucket.timer is not None:
+                bucket.timer.cancel()
+            for future in bucket.futures:
+                if future.done():
+                    continue
+                try:
+                    future.set_exception(error)
+                    if future.get_loop().is_closed():
+                        # Nobody can await this future any more; mark the
+                        # exception retrieved so GC does not log it.
+                        future.exception()
+                except RuntimeError:  # pragma: no cover - loop torn down
+                    pass
+                failed += 1
+        if failed:
+            self.metrics.counter("batcher.errors").inc()
+            self.metrics.counter("batcher.failed_requests").inc(failed)
+        return failed

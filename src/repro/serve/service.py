@@ -11,8 +11,21 @@
   on disk is picked up by the next :meth:`~GraphService.warm` call (the
   TCP protocol exposes a ``warm`` request for exactly this);
 * one :class:`~repro.serve.MicroBatcher` — concurrent ``query()`` calls
-  against the same ``(session, kind, k/...)`` signature coalesce into one
-  batched session call, executed on a shared worker pool.
+  against the same ``(session, kind, options)`` signature coalesce into one
+  batched session call, executed on the **compute pool**;
+* a separate single-purpose **loader pool** — multi-second cold artifact
+  loads (a ``query()`` cache miss, a TCP ``warm``) run there, so loading
+  and factorising a model can never starve the threads that execute
+  batches.  Before the split, one slow ``warm`` froze every in-flight
+  query behind it.
+
+The query hot path is deliberately cheap: :meth:`GraphService.query` is a
+plain function returning an awaitable — an :class:`asyncio.Future` on the
+cache-hit path — so fanning out tens of thousands of concurrent requests
+costs one future each instead of one coroutine + task each.  Batch keys
+normalise option defaults (an explicit ``k=5`` and an omitted ``k`` are the
+*same* signature), so identical queries never fragment into separate
+batches.
 
 Query kinds map 1:1 onto the session's batched primitives:
 
@@ -20,12 +33,20 @@ Query kinds map 1:1 onto the session's batched primitives:
 kind             payload (one request)       result (one request)
 ===============  ==========================  ===============================
 ``resistance``   ``(s, t)`` node pair        effective resistance (float)
-``neighbors``    node id                     ``k`` nearest node ids (list)
+``neighbors``    node id                     ``k`` nearest node ids
 ``labels``       node id                     spectral-cluster label (int)
 ===============  ==========================  ===============================
 
-:func:`serve_forever` wraps the service in a newline-delimited-JSON TCP
-protocol (stdlib asyncio only), which is what ``repro-serve serve`` runs.
+Results are returned as numpy scalars / row views — the wire boundary
+(:func:`serve_forever`) converts them once per response, either to JSON or
+to a raw little-endian buffer on the binary frame path (see
+:mod:`repro.serve.frames`), instead of boxing every value eagerly.
+
+:func:`serve_forever` speaks two protocols on the same port, sniffed per
+message: newline-delimited JSON (one request object per line) and the
+length-prefixed binary frame format of :mod:`repro.serve.frames`
+(msgpack-encoded metadata when msgpack is importable, JSON otherwise, with
+array results shipped as raw numpy bytes).
 """
 
 from __future__ import annotations
@@ -44,11 +65,61 @@ from repro.artifacts.store import load_result
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import span as obs_span
 from repro.serve.batching import MicroBatcher
+from repro.serve.frames import FRAME_MAGIC, FrameError, read_frame_body, write_frame
 from repro.serve.session import GraphSession
 
-__all__ = ["GraphService", "serve_forever"]
+__all__ = ["GraphService", "ServiceClosedError", "jsonable", "serve_forever"]
 
 _KINDS = ("resistance", "neighbors", "labels")
+
+#: Per-kind option defaults.  These are *normalised into the batch key*:
+#: ``query(..., "neighbors", n)`` and ``query(..., "neighbors", n, k=5)``
+#: produce the identical key and coalesce into one batch.
+_OPTION_DEFAULTS: dict[str, dict[str, int]] = {
+    "resistance": {},
+    "neighbors": {"k": 5},
+    "labels": {"n_clusters": 8},
+}
+_DEFAULT_KEYS = {
+    kind: tuple(sorted(defaults.items()))
+    for kind, defaults in _OPTION_DEFAULTS.items()
+}
+
+
+class ServiceClosedError(RuntimeError):
+    """Raised by queries submitted to (or stranded in) a closed service."""
+
+
+def _json_default(value):
+    """``json.dumps(..., default=...)`` hook for numpy scalars and arrays."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(
+        f"object of type {type(value).__name__} is not JSON serializable"
+    )
+
+
+def jsonable(value):
+    """Recursively coerce numpy scalars/arrays to JSON-ready builtins.
+
+    Session statistics legitimately carry numpy scalars (counter sums,
+    array-derived sizes); ``json.dumps`` raises on ``np.int64``.  This is
+    the boundary coercion applied to every stats payload before it leaves
+    the process.
+    """
+    if isinstance(value, dict):
+        return {key: jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(item) for item in value]
+    if isinstance(value, (np.integer, np.floating, np.bool_, np.ndarray)):
+        return _json_default(value)
+    return value
 
 
 class GraphService:
@@ -61,9 +132,16 @@ class GraphService:
         kept warm at once.
     max_batch_size, max_delay_s:
         Coalescing knobs forwarded to the :class:`~repro.serve.MicroBatcher`
-        (flush on size, or on deadline, whichever first).
+        (flush on size, on worker-idle, or on deadline — see ``adaptive``).
     max_workers:
-        Worker threads executing batched session calls.
+        Compute threads executing batched session calls.
+    loader_workers:
+        Threads of the dedicated artifact-loading pool (cache-miss loads
+        and TCP ``warm`` requests); kept separate so a multi-second cold
+        load cannot starve the compute pool.
+    adaptive_flush:
+        Forwarded to the batcher: flush as soon as a compute worker is
+        idle instead of always waiting out ``max_delay_s`` (default True).
     session_options:
         Extra keyword arguments for every :class:`~repro.serve.GraphSession`
         (e.g. ``knn_backend``, ``resistance_block``).
@@ -103,21 +181,29 @@ class GraphService:
         max_batch_size: int = 64,
         max_delay_s: float = 0.002,
         max_workers: int = 2,
+        loader_workers: int = 1,
+        adaptive_flush: bool = True,
         session_options: dict | None = None,
         metrics: MetricsRegistry | None = None,
     ) -> None:
         if max_sessions < 1:
             raise ValueError("max_sessions must be at least 1")
+        if loader_workers < 1:
+            raise ValueError("loader_workers must be at least 1")
         self._max_sessions = int(max_sessions)
         self._sessions: OrderedDict[str, GraphSession] = OrderedDict()
         self._path_keys: dict[str, str] = {}
+        self._norm_paths: dict = {}  # raw path argument -> normalised str
         # Guards _sessions/_path_keys/_loads/_evictions: the event loop's
-        # cache-hit path and executor-thread cold loads touch them
+        # cache-hit path and loader-thread cold loads touch them
         # concurrently.  Never held while loading or factorising a model.
         self._cache_lock = threading.Lock()
         self._session_options = dict(session_options or {})
         self._executor = ThreadPoolExecutor(
-            max_workers=max_workers, thread_name_prefix="repro-serve"
+            max_workers=max_workers, thread_name_prefix="repro-serve-compute"
+        )
+        self._loader = ThreadPoolExecutor(
+            max_workers=loader_workers, thread_name_prefix="repro-serve-loader"
         )
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._batcher = MicroBatcher(
@@ -125,17 +211,43 @@ class GraphService:
             max_batch_size=max_batch_size,
             max_delay_s=max_delay_s,
             executor=self._executor,
+            concurrency=max_workers,
+            adaptive=adaptive_flush,
             metrics=self.metrics,
             # Batch keys are (checksum, kind, options); the query kind is
             # the natural per-histogram label (batcher.resistance.*, ...).
             key_label=lambda key: key[1],
         )
+        # The hot path touches these once per request; resolving the
+        # instrument names every time would put a registry lookup on the
+        # event loop's critical path.
+        self._hits = self.metrics.counter("serve.cache.hits")
+        self._misses = self.metrics.counter("serve.cache.misses")
         self._evictions = 0
         self._loads = 0
+        self._closed = False
 
     # ------------------------------------------------------------------
     # Session cache
     # ------------------------------------------------------------------
+    def _norm_path(self, path) -> str:
+        """Normalised string form of ``path``, memoised per raw argument.
+
+        ``str(Path(path))`` costs ~2 µs — enough to dominate a hot loop at
+        100k q/s — so the mapping is cached (bounded; a service sees few
+        distinct path spellings).
+        """
+        cached = self._norm_paths.get(path)
+        if cached is None:
+            cached = str(Path(path))
+            if len(self._norm_paths) >= 4096:
+                self._norm_paths.clear()
+            self._norm_paths[path] = cached
+        return cached
+
+    def _set_cache_gauge(self, loaded: int) -> None:
+        self.metrics.gauge("serve.cache.sessions").set(loaded)
+
     def warm(self, path: str | Path) -> GraphSession:
         """Load an artifact into the session cache (or refresh its LRU slot).
 
@@ -144,7 +256,7 @@ class GraphService:
         (possibly pre-existing) session, so it doubles as the synchronous
         entry point for in-process callers that want the session object.
         """
-        path = str(Path(path))
+        path = self._norm_path(path)
         artifact = load_result(path)
         cached = self._cache_hit(artifact.checksum, remember_path=path)
         if cached is not None:
@@ -153,27 +265,35 @@ class GraphService:
         # concurrent cold loads of the same model may both build; the
         # loser's session is discarded below, which only wastes work.
         session = GraphSession(artifact, **self._session_options)
+        evicted = 0
         with self._cache_lock:
             existing = self._sessions.get(artifact.checksum)
             if existing is not None:
+                # Lost the build race: adopt the winner's session.
                 self._sessions.move_to_end(artifact.checksum)
                 self._path_keys[path] = artifact.checksum
-                return existing
-            self._sessions[artifact.checksum] = session
-            self._path_keys[path] = artifact.checksum
-            self._loads += 1
-            evicted = 0
-            while len(self._sessions) > self._max_sessions:
-                evicted_key, _ = self._sessions.popitem(last=False)
-                for p in [p for p, c in self._path_keys.items() if c == evicted_key]:
-                    del self._path_keys[p]
-                self._evictions += 1
-                evicted += 1
+                session = existing
+            else:
+                self._sessions[artifact.checksum] = session
+                self._path_keys[path] = artifact.checksum
+                self._loads += 1
+                while len(self._sessions) > self._max_sessions:
+                    evicted_key, _ = self._sessions.popitem(last=False)
+                    for p in [
+                        p for p, c in self._path_keys.items() if c == evicted_key
+                    ]:
+                        del self._path_keys[p]
+                    self._evictions += 1
+                    evicted += 1
             loaded = len(self._sessions)
-        self.metrics.counter("serve.cache.loads").inc()
+        # The gauge mirrors the cache on *every* exit path (fresh load,
+        # lost race, evictions) — a stale gauge after evict-then-rewarm
+        # was exactly the bug this guards against.
+        self._set_cache_gauge(loaded)
+        if existing is None:
+            self.metrics.counter("serve.cache.loads").inc()
         if evicted:
             self.metrics.counter("serve.cache.evictions").inc(evicted)
-        self.metrics.gauge("serve.cache.sessions").set(loaded)
         return session
 
     def _cache_hit(self, checksum: str, *, remember_path: str | None = None):
@@ -183,7 +303,10 @@ class GraphService:
                 self._sessions.move_to_end(checksum)
                 if remember_path is not None:
                     self._path_keys[remember_path] = checksum
-            return session
+            loaded = len(self._sessions)
+        if session is not None:
+            self._set_cache_gauge(loaded)
+        return session
 
     def session(self, path: str | Path) -> GraphSession:
         """The cached session for ``path``, loading it on first use.
@@ -193,8 +316,9 @@ class GraphService:
         would defeat the cache.  Call :meth:`warm` to re-validate a path
         whose file may have been replaced.
         """
+        path = self._norm_path(path)
         with self._cache_lock:
-            key = self._path_keys.get(str(Path(path)))
+            key = self._path_keys.get(path)
             session = self._sessions.get(key) if key is not None else None
             if session is not None:
                 self._sessions.move_to_end(key)
@@ -204,31 +328,72 @@ class GraphService:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    async def query(self, path: str | Path, kind: str, payload, **options):
+    def _option_key(self, kind: str, options: dict) -> tuple:
+        """Batch-key tuple for ``options`` with defaults normalised in.
+
+        An explicit default (``k=5``) and an omitted option must hash to
+        the *same* key, or identical queries fragment into separate
+        batches; unknown options are rejected instead of silently creating
+        singleton batch signatures.
+        """
+        if not options:
+            return _DEFAULT_KEYS[kind]
+        defaults = _OPTION_DEFAULTS[kind]
+        merged = dict(defaults)
+        for name, value in options.items():
+            if name not in defaults:
+                raise ValueError(
+                    f"unknown option {name!r} for query kind {kind!r}; "
+                    f"available: {sorted(defaults) or 'none'}"
+                )
+            merged[name] = int(value)
+        return tuple(sorted(merged.items()))
+
+    def query(self, path: str | Path, kind: str, payload, **options):
         """Submit one request; it is micro-batched with concurrent peers.
 
         ``kind`` is one of ``resistance`` / ``neighbors`` / ``labels``;
         ``options`` become part of the batch signature (``k=...`` for
-        neighbours, ``n_clusters=...`` for labels), so only requests with
-        identical options share a batch.
+        neighbours, ``n_clusters=...`` for labels) with defaults normalised
+        in, so requests that *mean* the same thing share a batch.
+
+        Returns an awaitable — an :class:`asyncio.Future` on the cache-hit
+        fast path (no per-request coroutine or task), a coroutine when the
+        session must first be loaded on the loader pool.  Must be called
+        with a running event loop.  Results are numpy scalars / row views;
+        convert at your boundary if you need builtins.
         """
-        if kind not in _KINDS:
+        if kind not in _OPTION_DEFAULTS:
             raise ValueError(f"unknown query kind {kind!r}; available: {_KINDS}")
+        if self._closed:
+            raise ServiceClosedError("GraphService is closed")
+        key_options = self._option_key(kind, options)
+        path = self._norm_path(path)
         with self._cache_lock:
-            cached = self._path_keys.get(str(Path(path)))
-            session = self._sessions.get(cached) if cached is not None else None
-            if session is not None:
-                self._sessions.move_to_end(cached)
+            checksum = self._path_keys.get(path)
+            session = self._sessions.get(checksum) if checksum is not None else None
+            if session is not None and len(self._sessions) > 1:
+                # LRU touch matters only once something could be evicted.
+                self._sessions.move_to_end(checksum)
         if session is None:
-            # Cache miss: loading + factorising a model can take seconds on
-            # large graphs — do it on the worker pool, not the event loop.
-            self.metrics.counter("serve.cache.misses").inc()
-            loop = asyncio.get_running_loop()
-            session = await loop.run_in_executor(self._executor, self.session, path)
-        else:
-            self.metrics.counter("serve.cache.hits").inc()
-        key = (session.checksum, kind, tuple(sorted(options.items())))
-        return await self._batcher.submit(key, (session, payload))
+            self._misses.inc()
+            return self._query_cold(path, kind, key_options, payload)
+        # Relaxed: only the event-loop thread takes the hit path, and the
+        # locked increment is measurable at 100k q/s.
+        self._hits.inc_relaxed()
+        return self._batcher.submit_nowait(
+            (session.checksum, kind, key_options), (session, payload)
+        )
+
+    async def _query_cold(self, path: str, kind: str, key_options: tuple, payload):
+        # Cache miss: loading + factorising a model can take seconds on
+        # large graphs — run it on the dedicated loader pool so it cannot
+        # starve the compute workers executing batches.
+        loop = asyncio.get_running_loop()
+        session = await loop.run_in_executor(self._loader, self.session, path)
+        return await self._batcher.submit_nowait(
+            (session.checksum, kind, key_options), (session, payload)
+        )
 
     def _run_batch(self, key, payloads):
         _, kind, options = key
@@ -238,23 +403,20 @@ class GraphService:
         if kind == "resistance":
             pairs = np.asarray(values, dtype=np.int64).reshape(-1, 2)
             raw = session.effective_resistance(pairs)
-            convert = raw.tolist
         elif kind == "neighbors":
             nodes = np.asarray(values, dtype=np.int64)
-            _, indices = session.nearest_neighbors(nodes, k=options.get("k", 5))
-            convert = lambda: [row.tolist() for row in indices]  # noqa: E731
+            _, raw = session.nearest_neighbors(nodes, k=options["k"])
         else:
             nodes = np.asarray(values, dtype=np.int64)
-            labels = session.cluster_labels(
-                nodes, n_clusters=options.get("n_clusters", 8)
-            )
-            convert = lambda: [int(label) for label in labels]  # noqa: E731
-        # The numpy -> JSON-ready conversion is the "serialize" share of a
-        # batch; split it out so traced runs can attribute it separately
-        # from the solve itself.
+            raw = session.cluster_labels(nodes, n_clusters=options["n_clusters"])
+        # Splitting the batch result into per-request values is the
+        # "serialize" share of a batch.  It stays cheap on purpose: results
+        # are handed back as numpy scalars / row views, and the *wire*
+        # encoding (JSON text or zero-copy binary frames) happens once per
+        # response at the protocol boundary, not once per value here.
         start = time.perf_counter()
         with obs_span("serialize", kind=kind, batch_size=len(values)):
-            out = convert()
+            out = list(raw)
         self.metrics.histogram("serve.serialize_ms").observe(
             1e3 * (time.perf_counter() - start)
         )
@@ -264,17 +426,39 @@ class GraphService:
         """Flush pending batches and wait for in-flight work."""
         await self._batcher.drain()
 
+    async def aclose(self) -> None:
+        """Drain gracefully, then shut the pools down."""
+        await self.drain()
+        self.close()
+
     def close(self) -> None:
-        """Shut down the worker pool (idempotent)."""
+        """Shut down the service (idempotent).
+
+        Queries that were submitted but not yet flushed fail with
+        :class:`ServiceClosedError` instead of hanging on futures nobody
+        will resolve; batches already in flight finish (the pools shut
+        down with ``wait=True``).  Prefer :meth:`aclose` from async code
+        to drain gracefully first.
+        """
+        self._closed = True
+        self._batcher.shutdown(
+            ServiceClosedError("GraphService closed with pending queries")
+        )
         self._executor.shutdown(wait=True)
+        self._loader.shutdown(wait=True)
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
-        """Service statistics: cache state, batching counters, per-session."""
+        """Service statistics: cache state, batching counters, per-session.
+
+        Numpy scalars are coerced to builtins at this boundary, so the
+        result is always ``json.dumps``-able (the TCP ``stats`` reply
+        relies on that).
+        """
         with self._cache_lock:
             sessions = dict(self._sessions)
             loads, evictions = self._loads, self._evictions
-        return {
+        return jsonable({
             "sessions": {
                 "loaded": len(sessions),
                 "capacity": self._max_sessions,
@@ -287,16 +471,24 @@ class GraphService:
                 checksum: session.stats() for checksum, session in sessions.items()
             },
             "metrics": self.metrics.snapshot(),
-        }
+        })
 
 
 # ----------------------------------------------------------------------
-# Newline-delimited JSON TCP front end
+# TCP front end: newline-delimited JSON and binary frames on one port
 # ----------------------------------------------------------------------
-async def _handle_request(service: GraphService, request: dict) -> dict:
+async def _execute_request(
+    service: GraphService, request: dict
+) -> tuple[dict, np.ndarray | None]:
+    """Run one request; returns ``(response_meta, array_result_or_None)``.
+
+    Array-valued results (resistance / neighbors / labels) come back as a
+    numpy array so the caller picks the wire encoding: ``.tolist()`` into
+    the JSON reply, or the raw buffer on the binary frame path.
+    """
     kind = request.get("kind")
     if kind == "stats":
-        return {"ok": True, "result": service.stats()}
+        return {"ok": True, "result": service.stats()}, None
     if kind != "warm" and kind not in _KINDS:
         raise ValueError(f"unknown request kind {kind!r}")
     path = request.get("artifact")
@@ -304,10 +496,11 @@ async def _handle_request(service: GraphService, request: dict) -> dict:
         raise ValueError("request must carry an 'artifact' path")
     if kind == "warm":
         # Re-read + re-validate the file (picks up a replaced artifact);
-        # the load runs on the worker pool, off the event loop.
+        # the load runs on the loader pool, off the event loop and away
+        # from the compute workers.
         loop = asyncio.get_running_loop()
-        session = await loop.run_in_executor(service._executor, service.warm, path)
-        return {"ok": True, "result": session.stats()}
+        session = await loop.run_in_executor(service._loader, service.warm, path)
+        return {"ok": True, "result": jsonable(session.stats())}, None
     if kind == "resistance":
         pairs = request.get("pairs")
         if not isinstance(pairs, list) or not pairs:
@@ -315,7 +508,7 @@ async def _handle_request(service: GraphService, request: dict) -> dict:
         results = await asyncio.gather(
             *(service.query(path, "resistance", tuple(pair)) for pair in pairs)
         )
-        return {"ok": True, "result": list(results)}
+        return {"ok": True}, np.asarray(results, dtype=np.float64)
     if kind == "neighbors":
         nodes = request.get("nodes")
         if not isinstance(nodes, list) or not nodes:
@@ -324,7 +517,7 @@ async def _handle_request(service: GraphService, request: dict) -> dict:
         results = await asyncio.gather(
             *(service.query(path, "neighbors", int(node), k=k) for node in nodes)
         )
-        return {"ok": True, "result": list(results)}
+        return {"ok": True}, np.asarray(results, dtype=np.int64)
     if kind == "labels":
         nodes = request.get("nodes")
         if not isinstance(nodes, list) or not nodes:
@@ -336,8 +529,63 @@ async def _handle_request(service: GraphService, request: dict) -> dict:
                 for node in nodes
             )
         )
-        return {"ok": True, "result": list(results)}
+        return {"ok": True}, np.asarray(results, dtype=np.int64)
     raise AssertionError(f"unhandled request kind {kind!r}")  # pragma: no cover
+
+
+async def _serve_json_message(
+    service: GraphService,
+    line: bytes,
+    writer: asyncio.StreamWriter,
+) -> None:
+    request: dict | None = None
+    try:
+        decoded = json.loads(line)
+        if not isinstance(decoded, dict):
+            raise ValueError("request must be a JSON object")
+        request = decoded
+        response, array = await _execute_request(service, request)
+    except Exception as exc:  # protocol errors go back to the client
+        response, array = {"ok": False, "error": str(exc)}, None
+    if request is not None and "id" in request:
+        response["id"] = request["id"]
+    encode_start = time.perf_counter()
+    if array is not None:
+        response["result"] = array.tolist()
+    encoded = json.dumps(response, default=_json_default).encode("utf-8") + b"\n"
+    service.metrics.histogram("serve.tcp.serialize_ms").observe(
+        1e3 * (time.perf_counter() - encode_start)
+    )
+    service.metrics.counter("serve.tcp.requests").inc()
+    writer.write(encoded)
+    await writer.drain()
+
+
+async def _serve_binary_message(
+    service: GraphService,
+    first_byte: bytes,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    request, encoding, _ = await read_frame_body(reader, first=first_byte)
+    try:
+        if not isinstance(request, dict):
+            raise ValueError("request must be an object")
+        response, array = await _execute_request(service, request)
+    except Exception as exc:
+        response, array = {"ok": False, "error": str(exc)}, None
+    if isinstance(request, dict) and "id" in request:
+        response["id"] = request["id"]
+    encode_start = time.perf_counter()
+    # Zero-copy on the result: the numpy buffer goes to the transport as a
+    # memoryview — no per-value boxing, no text encoding.
+    write_frame(writer, response, array=array, encoding=encoding)
+    service.metrics.histogram("serve.tcp.serialize_ms").observe(
+        1e3 * (time.perf_counter() - encode_start)
+    )
+    service.metrics.counter("serve.tcp.requests").inc()
+    service.metrics.counter("serve.tcp.binary_frames").inc()
+    await writer.drain()
 
 
 async def _client_connected(
@@ -347,28 +595,23 @@ async def _client_connected(
 ) -> None:
     try:
         while True:
-            line = await reader.readline()
-            if not line:
+            # Sniff the protocol per message: binary frames open with the
+            # magic byte pair, JSON lines with '{' (or whitespace).  One
+            # connection may interleave both.
+            first = await reader.read(1)
+            if not first:
                 break
-            request: dict | None = None
-            try:
-                decoded = json.loads(line)
-                if not isinstance(decoded, dict):
-                    raise ValueError("request must be a JSON object")
-                request = decoded
-                response = await _handle_request(service, request)
-            except Exception as exc:  # protocol errors go back to the client
-                response = {"ok": False, "error": str(exc)}
-            if request is not None and "id" in request:
-                response["id"] = request["id"]
-            encode_start = time.perf_counter()
-            encoded = json.dumps(response).encode("utf-8") + b"\n"
-            service.metrics.histogram("serve.tcp.serialize_ms").observe(
-                1e3 * (time.perf_counter() - encode_start)
-            )
-            service.metrics.counter("serve.tcp.requests").inc()
-            writer.write(encoded)
-            await writer.drain()
+            if first == FRAME_MAGIC[:1]:
+                try:
+                    await _serve_binary_message(service, first, reader, writer)
+                except (FrameError, asyncio.IncompleteReadError) as exc:
+                    write_frame(
+                        writer, {"ok": False, "error": f"bad frame: {exc}"}
+                    )
+                    await writer.drain()
+            else:
+                line = first + await reader.readline()
+                await _serve_json_message(service, line, writer)
     finally:
         writer.close()
         try:
@@ -385,16 +628,19 @@ async def serve_forever(
     ready: "asyncio.Event | None" = None,
     bound_addresses: list | None = None,
 ) -> None:
-    """Run the newline-delimited JSON TCP server until cancelled.
+    """Run the TCP server (JSON lines + binary frames) until cancelled.
 
-    One request per line, one JSON response per line (``{"ok": true,
-    "result": ...}`` or ``{"ok": false, "error": "..."}``; an ``id`` field
-    is echoed back).  Every multi-item request fans out through the
-    micro-batcher, so two clients querying the same model coalesce into
-    shared solver batches.  ``ready`` (if given) is set once the socket is
-    listening, after the actually bound ``(host, port)`` tuples have been
-    appended to ``bound_addresses`` — lets tests bind port 0 and discover
-    the kernel-assigned port.
+    JSON protocol: one request per line, one JSON response per line
+    (``{"ok": true, "result": ...}`` or ``{"ok": false, "error": "..."}``;
+    an ``id`` field is echoed back).  Binary protocol: length-prefixed
+    frames (:mod:`repro.serve.frames`) whose responses carry array results
+    as raw numpy bytes — the format is sniffed per message from the first
+    byte.  Every multi-item request fans out through the micro-batcher, so
+    two clients querying the same model coalesce into shared solver
+    batches.  ``ready`` (if given) is set once the socket is listening,
+    after the actually bound ``(host, port)`` tuples have been appended to
+    ``bound_addresses`` — lets tests bind port 0 and discover the
+    kernel-assigned port.
     """
     server = await asyncio.start_server(
         lambda r, w: _client_connected(service, r, w), host, port

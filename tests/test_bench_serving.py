@@ -71,6 +71,82 @@ class TestServeBench:
         assert bench_main(["serve", "--scenario", "no/such"]) == 2
 
 
+class TestServeLoadSweep:
+    @pytest.fixture(scope="class")
+    def records(self, tmp_path_factory):
+        artifact_dir = tmp_path_factory.mktemp("serve-load")
+        return serve_records_for_scenario(
+            "grid_2d/tiny", n_queries=96, batch_size=16,
+            artifact_dir=artifact_dir, load_concurrency=[2, 8],
+        )
+
+    def test_one_record_per_concurrency_level(self, records):
+        methods = [r.method for r in records]
+        assert methods == [
+            "serve_naive", "serve_batched", "serve_service",
+            "serve_load_c2", "serve_load_c8",
+        ]
+
+    def test_load_records_carry_qps_and_latency(self, records):
+        for record in records:
+            if not record.method.startswith("serve_load_c"):
+                continue
+            assert record.quality["qps"] > 0
+            assert record.quality["p99_ms"] >= record.quality["p50_ms"] > 0
+            assert record.quality["concurrency"] == record.info["concurrency"]
+
+    def test_load_workload_is_mixed(self, records):
+        load = next(r for r in records if r.method == "serve_load_c2")
+        mix = load.info["mix"]
+        assert set(mix) == {"resistance", "neighbors", "labels"}
+        assert sum(mix.values()) == 96
+        assert mix["resistance"] > 0 and mix["labels"] > 0
+        # grid_2d/tiny artifacts include an embedding, so neighbors ran too.
+        assert mix["neighbors"] > 0
+
+    def test_load_records_form_a_valid_artifact(self, records):
+        validate_artifact(make_artifact("serving-load-test", records))
+
+    def test_mixed_workload_spellings_coalesce(self):
+        # Explicit defaults (k=5 / n_clusters=8) and omitted options must
+        # produce identical batch signatures — the sweep depends on it.
+        from repro.bench.serving import _mixed_workload
+
+        requests = _mixed_workload(100, 200, seed=0)
+        kinds = {kind for kind, _, _ in requests}
+        assert kinds == {"resistance", "neighbors", "labels"}
+        explicit = [o for k, _, o in requests if k == "neighbors" and o]
+        implicit = [o for k, _, o in requests if k == "neighbors" and not o]
+        assert explicit and implicit  # both spellings present
+        assert all(o == {"k": 5} for o in explicit)
+
+    def test_mixed_workload_without_embedding_drops_neighbors(self):
+        from repro.bench.serving import _mixed_workload
+
+        requests = _mixed_workload(100, 120, seed=0, with_neighbors=False)
+        assert not any(kind == "neighbors" for kind, _, _ in requests)
+
+    def test_cli_load_flag(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_serving_load.json"
+        code = bench_main([
+            "serve", "--scenario", "grid_2d/tiny", "--queries", "48",
+            "--batch-size", "16", "--load", "--concurrency", "4",
+            "--out", str(out), "--artifact-dir", str(tmp_path / "models"),
+        ])
+        assert code == 0
+        artifact = validate_artifact(json.loads(out.read_text()))
+        assert len(artifact["results"]) == 4
+        assert artifact["run_config"]["load_concurrency"] == [4]
+        stdout = capsys.readouterr().out
+        assert "load c=4" in stdout
+
+    def test_cli_bad_concurrency(self, capsys):
+        assert bench_main([
+            "serve", "--scenario", "grid_2d/tiny", "--load",
+            "--concurrency", "0,abc",
+        ]) == 2
+
+
 class TestJobsRunner:
     def _specs(self):
         return [registry.get_scenario(n) for n in ("grid_2d/tiny", "circuit/tiny")]

@@ -3,6 +3,8 @@ the LRU service, the TCP front end and the repro-serve CLI."""
 
 import asyncio
 import json
+import threading
+import time
 
 import numpy as np
 import pytest
@@ -24,6 +26,7 @@ from repro.serve import (
     serve_forever,
 )
 from repro.serve.cli import main as serve_main
+from repro.serve.service import ServiceClosedError, jsonable
 
 
 @pytest.fixture(scope="module")
@@ -228,7 +231,12 @@ class TestMicroBatcher:
             return payloads
 
         async def run():
-            batcher = MicroBatcher(handler, max_batch_size=1000, max_delay_s=0.002)
+            # adaptive=False: the classic batcher, where a lone request
+            # always waits out the deadline (adaptive mode would flush it
+            # on the next tick because a worker is idle).
+            batcher = MicroBatcher(
+                handler, max_batch_size=1000, max_delay_s=0.002, adaptive=False
+            )
             result = await batcher.submit("k", 42)  # alone: must flush on deadline
             return result, batcher.stats.n_deadline_flushes
 
@@ -286,6 +294,94 @@ class TestMicroBatcher:
             MicroBatcher(lambda k, p: p, max_batch_size=0)
         with pytest.raises(ValueError):
             MicroBatcher(lambda k, p: p, max_delay_s=-1)
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda k, p: p, concurrency=0)
+
+    def test_adaptive_flush_skips_deadline_when_idle(self):
+        # The adaptive flusher must answer a lone request on the next loop
+        # tick — if it waited out the (absurd) deadline this test would
+        # take minutes instead of milliseconds.
+        def handler(key, payloads):
+            return payloads
+
+        async def run():
+            batcher = MicroBatcher(handler, max_batch_size=1000, max_delay_s=60.0)
+            start = time.perf_counter()
+            result = await batcher.submit("k", 42)
+            return result, time.perf_counter() - start, batcher.stats
+
+        result, elapsed, stats = asyncio.run(run())
+        assert result == 42
+        assert elapsed < 5.0  # loop-tick scale, nowhere near the 60 s deadline
+        assert stats.n_idle_flushes == 1 and stats.n_deadline_flushes == 0
+
+    def test_adaptive_kick_flushes_waiters_when_worker_frees(self):
+        # With one worker slot busy, the next bucket arms the deadline — but
+        # the finishing batch must kick it out immediately instead of letting
+        # it wait out the (absurd) 60 s deadline.
+        release = threading.Event()
+        calls = []
+
+        def handler(key, payloads):
+            calls.append(list(payloads))
+            if payloads == [1]:
+                release.wait(timeout=10)
+            return payloads
+
+        async def run():
+            batcher = MicroBatcher(
+                handler, max_batch_size=1000, max_delay_s=60.0, concurrency=1
+            )
+            first = batcher.submit_nowait("k", 1)   # flushes; occupies the slot
+            await asyncio.sleep(0.05)               # let the batch start
+            second = batcher.submit_nowait("k", 2)  # saturated: deadline armed
+            await asyncio.sleep(0.05)
+            assert not second.done()
+            release.set()
+            start = time.perf_counter()
+            results = await asyncio.gather(first, second)
+            return results, time.perf_counter() - start, batcher.stats
+
+        results, elapsed, stats = asyncio.run(run())
+        assert results == [1, 2]
+        assert elapsed < 5.0  # kicked by the freed worker, not the deadline
+        assert calls == [[1], [2]]
+        assert stats.n_deadline_flushes == 0
+
+    def test_shutdown_fails_pending_requests(self):
+        def handler(key, payloads):
+            return payloads
+
+        async def run():
+            batcher = MicroBatcher(
+                handler, max_batch_size=1000, max_delay_s=60.0, adaptive=False
+            )
+            future = batcher.submit_nowait("k", 1)
+            failed = batcher.shutdown(RuntimeError("going away"))
+            with pytest.raises(RuntimeError, match="going away"):
+                await future
+            return failed, batcher.metrics.snapshot()["counters"]
+
+        failed, counters = asyncio.run(run())
+        assert failed == 1
+        assert counters["batcher.errors"] == 1
+        assert counters["batcher.failed_requests"] == 1
+
+    def test_handler_errors_are_counted(self):
+        def handler(key, payloads):
+            raise RuntimeError("boom")
+
+        async def run():
+            batcher = MicroBatcher(handler, max_batch_size=2, max_delay_s=0.001)
+            await asyncio.gather(
+                batcher.submit("k", 1), batcher.submit("k", 2),
+                return_exceptions=True,
+            )
+            return batcher.metrics.snapshot()["counters"]
+
+        counters = asyncio.run(run())
+        assert counters["batcher.errors"] == 1
+        assert counters["batcher.failed_requests"] == 2
 
 
 # ----------------------------------------------------------------------
@@ -365,6 +461,280 @@ class TestGraphService:
         first = service.session(artifact_path)
         second = service.session(artifact_path)
         assert first is second
+        service.close()
+
+    def test_default_options_share_a_batch(self, artifact_path):
+        # Regression: an explicit default (k=5) and an omitted option used
+        # to hash to different batch keys, splitting identical queries
+        # into separate batches.
+        service = GraphService(max_batch_size=64, max_delay_s=0.01)
+        service.warm(artifact_path)
+
+        async def run():
+            await asyncio.gather(
+                service.query(artifact_path, "neighbors", 0, k=5),
+                service.query(artifact_path, "neighbors", 1),
+                service.query(artifact_path, "neighbors", 2, k=5),
+                service.query(artifact_path, "neighbors", 3),
+            )
+            return service.stats()["batching"]
+
+        batching = asyncio.run(run())
+        assert batching["n_requests"] == 4
+        assert batching["n_batches"] == 1  # one signature, one batch
+        service.close()
+
+    def test_non_default_options_batch_separately(self, artifact_path):
+        service = GraphService(max_batch_size=64, max_delay_s=0.01)
+        service.warm(artifact_path)
+
+        async def run():
+            await asyncio.gather(
+                service.query(artifact_path, "neighbors", 0, k=2),
+                service.query(artifact_path, "neighbors", 1, k=3),
+            )
+            return service.stats()["batching"]
+
+        batching = asyncio.run(run())
+        assert batching["n_batches"] == 2
+        service.close()
+
+    def test_unknown_option_rejected(self, artifact_path):
+        service = GraphService()
+        service.warm(artifact_path)
+
+        async def run():
+            service.query(artifact_path, "neighbors", 0, q=3)
+
+        with pytest.raises(ValueError, match="unknown option"):
+            asyncio.run(run())
+        service.close()
+
+    def test_close_fails_pending_queries_instead_of_hanging(self, artifact_path):
+        # Regression: close() used to shut the executor down without
+        # draining the batcher, so requests submitted just before close
+        # hung forever on futures nobody would resolve.
+        service = GraphService(
+            max_batch_size=1000, max_delay_s=60.0, adaptive_flush=False
+        )
+        service.warm(artifact_path)
+
+        async def run():
+            pending = [
+                service.query(artifact_path, "resistance", (0, 1)),
+                service.query(artifact_path, "resistance", (2, 3)),
+            ]
+            service.close()
+            results = await asyncio.gather(*pending, return_exceptions=True)
+            return results
+
+        results = asyncio.run(run())
+        assert all(isinstance(r, ServiceClosedError) for r in results)
+        counters = service.metrics.snapshot()["counters"]
+        assert counters["batcher.errors"] >= 1
+        assert counters["batcher.failed_requests"] == 2
+
+    def test_query_after_close_raises(self, artifact_path):
+        service = GraphService()
+        service.warm(artifact_path)
+        service.close()
+
+        async def run():
+            service.query(artifact_path, "resistance", (0, 1))
+
+        with pytest.raises(ServiceClosedError):
+            asyncio.run(run())
+
+    def test_aclose_drains_before_shutdown(self, artifact_path):
+        service = GraphService(max_batch_size=1000, max_delay_s=60.0)
+        service.warm(artifact_path)
+
+        async def run():
+            futures = [
+                service.query(artifact_path, "resistance", (0, 1)),
+                service.query(artifact_path, "resistance", (2, 3)),
+            ]
+            await service.aclose()
+            return await asyncio.gather(*futures)
+
+        results = asyncio.run(run())
+        assert all(float(r) > 0 for r in results)
+
+    def test_stats_is_json_dumpable(self, artifact_path):
+        # Regression: session.stats() carries numpy scalars, and
+        # json.dumps raises on np.int64 — stats() must coerce to builtins
+        # at the boundary.
+        service = GraphService()
+
+        async def run():
+            await service.query(artifact_path, "resistance", (0, 1))
+            await service.query(artifact_path, "labels", 0)
+
+        asyncio.run(run())
+        stats = service.stats()
+        encoded = json.dumps(stats)  # must not raise
+        assert json.loads(encoded)["sessions"]["loaded"] == 1
+        service.close()
+
+    def test_jsonable_coerces_numpy(self):
+        raw = {
+            "i": np.int64(3),
+            "f": np.float64(0.5),
+            "b": np.bool_(True),
+            "a": np.arange(3, dtype=np.int64),
+            "nested": [np.int32(1), (np.float32(2.0),)],
+        }
+        out = jsonable(raw)
+        assert out == {"i": 3, "f": 0.5, "b": True, "a": [0, 1, 2],
+                       "nested": [1, [2.0]]}
+        json.dumps(out)
+        assert isinstance(out["i"], int) and isinstance(out["f"], float)
+
+    def test_cache_gauge_updated_on_every_path(self, learned, tmp_path):
+        # Regression: warm()'s early-return (cache hit) used to skip the
+        # serve.cache.sessions gauge, so it went stale after
+        # evict-then-rewarm sequences.
+        paths = []
+        for idx in range(2):
+            data = simulate_measurements(
+                grid_2d(5 + idx, 5), n_measurements=20, seed=idx
+            )
+            path = tmp_path / f"g{idx}.npz"
+            save_result(learn_graph(data, beta=0.05), path, include_embedding=False)
+            paths.append(path)
+        service = GraphService(max_sessions=1)
+        gauge = service.metrics.gauge("serve.cache.sessions")
+        service.warm(paths[0])
+        assert gauge.value == 1
+        service.warm(paths[1])  # evicts paths[0]
+        assert gauge.value == 1
+        # Poison the gauge, then take the cache-hit early-return path: the
+        # hit must refresh the gauge, not leave the stale value in place.
+        gauge.set(99)
+        service.warm(paths[1])
+        assert gauge.value == 1
+        # Evict-then-rewarm: reload of paths[0] evicts paths[1], and the
+        # gauge must track the mutation.
+        service.warm(paths[0])
+        assert gauge.value == 1
+        assert service.stats()["sessions"]["evictions"] == 2
+        service.close()
+
+
+# ----------------------------------------------------------------------
+class TestServiceConcurrency:
+    """The service-path concurrency regression suite (ISSUE 9 satellite)."""
+
+    def test_service_throughput_floor_vs_naive(self, learned, artifact_path):
+        # At fixed concurrency the batched service path must beat per-pair
+        # solves by a comfortable margin; the floor is deliberately loose
+        # (the real gap is >3x) so a loaded CI runner does not flake.
+        n = 512
+        pairs = sample_node_pairs(learned.graph.n_nodes, n, seed=7)
+        session = GraphSession.from_file(artifact_path)
+        naive_start = time.perf_counter()
+        for pair in pairs:
+            effective_resistance(learned.graph, pair[None, :], solver=session.solver)
+        naive_seconds = time.perf_counter() - naive_start
+
+        service = GraphService(max_batch_size=64, max_delay_s=0.002)
+        service.warm(artifact_path)
+
+        async def run():
+            start = time.perf_counter()
+            await asyncio.gather(
+                *(
+                    service.query(artifact_path, "resistance", tuple(pair))
+                    for pair in pairs
+                )
+            )
+            return time.perf_counter() - start
+
+        # Warm once (index/label caches), then measure.
+        asyncio.run(run())
+        service_seconds = asyncio.run(run())
+        service.close()
+        assert service_seconds < naive_seconds * 0.85, (
+            f"service path ({n / service_seconds:.0f} q/s) is not beating "
+            f"naive per-pair solves ({n / naive_seconds:.0f} q/s)"
+        )
+
+    def test_loader_pool_does_not_starve_compute(
+        self, learned, artifact_path, tmp_path, monkeypatch
+    ):
+        # A multi-second cold artifact load must run on the loader pool:
+        # hot queries against an already-warm session keep flowing while
+        # the cold load is blocked.
+        import repro.serve.service as service_module
+
+        cold_path = tmp_path / "cold.npz"
+        save_result(learned, cold_path, include_embedding=False)
+
+        service = GraphService(max_batch_size=16, max_delay_s=0.001)
+        service.warm(artifact_path)
+
+        gate = threading.Event()
+        real_load = service_module.load_result
+
+        def gated_load(path):
+            if str(path) == str(cold_path):
+                assert gate.wait(timeout=30), "test gate never opened"
+            return real_load(path)
+
+        monkeypatch.setattr(service_module, "load_result", gated_load)
+
+        async def run():
+            cold = asyncio.ensure_future(
+                service.query(cold_path, "resistance", (0, 1))
+            )
+            await asyncio.sleep(0.05)  # let the loader thread block on the gate
+            start = time.perf_counter()
+            hot = await asyncio.gather(
+                *(
+                    service.query(artifact_path, "resistance", (0, i))
+                    for i in range(1, 33)
+                )
+            )
+            hot_seconds = time.perf_counter() - start
+            assert not cold.done()  # still stuck in the (gated) load
+            gate.set()
+            cold_value = await asyncio.wait_for(cold, timeout=30)
+            return hot, hot_seconds, cold_value
+
+        hot, hot_seconds, cold_value = asyncio.run(run())
+        service.close()
+        assert len(hot) == 32 and all(float(v) >= 0 for v in hot)
+        # Hot queries finished while the cold load was still blocked — they
+        # cannot have been queued behind it.
+        assert hot_seconds < 5.0
+        assert float(cold_value) > 0
+
+    def test_mixed_kinds_interleave_without_blocking(self, artifact_path):
+        service = GraphService(max_batch_size=8, max_delay_s=0.002)
+        service.warm(artifact_path)
+
+        async def run():
+            queries = []
+            for idx in range(24):
+                if idx % 3 == 0:
+                    queries.append(
+                        service.query(artifact_path, "resistance", (0, idx % 49))
+                    )
+                elif idx % 3 == 1:
+                    queries.append(
+                        service.query(artifact_path, "neighbors", idx % 49)
+                    )
+                else:
+                    queries.append(
+                        service.query(artifact_path, "labels", idx % 49)
+                    )
+            return await asyncio.gather(*queries)
+
+        results = asyncio.run(run())
+        assert len(results) == 24
+        batching = service.stats()["batching"]
+        assert batching["n_requests"] == 24
+        assert batching["n_batches"] <= 6  # three signatures, coalesced
         service.close()
 
 
