@@ -16,8 +16,21 @@ Entry points:
 * :func:`save_sharded_result` / :func:`load_sharded_result` — a partition-
   parallel model as a directory of per-shard artifacts plus a boundary file,
   all under a checksummed ``manifest.json`` (:mod:`repro.artifacts.sharded`).
+* :class:`ModelRegistry` — a local named-and-versioned model store
+  (``publish`` / ``get`` / ``list`` / ``tag`` / ``gc`` over a queryable,
+  atomically rewritten JSON index with lineage) through which ``bench``,
+  ``repro-serve`` and the :mod:`repro.stream` update loop resolve
+  ``name@version`` references instead of ad-hoc paths
+  (:mod:`repro.artifacts.registry`).
 """
 
+from repro.artifacts.registry import (
+    ModelRegistry,
+    ModelVersion,
+    RegistryError,
+    is_model_ref,
+    parse_model_ref,
+)
 from repro.artifacts.sharded import (
     MANIFEST_SCHEMA,
     MANIFEST_VERSION,
@@ -45,11 +58,16 @@ __all__ = [
     "MANIFEST_VERSION",
     "ArtifactFormatError",
     "ModelArtifact",
+    "ModelRegistry",
+    "ModelVersion",
+    "RegistryError",
     "ShardManifestError",
     "ShardedModelArtifact",
     "artifact_checksum",
+    "is_model_ref",
     "load_result",
     "load_sharded_result",
+    "parse_model_ref",
     "payload_checksum",
     "save_artifact",
     "save_result",

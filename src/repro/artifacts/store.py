@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import struct
 import sys
 import zipfile
 from dataclasses import asdict, dataclass, field
@@ -102,6 +103,10 @@ class ModelArtifact:
     meta:
         The full decoded metadata blob (provenance: ``created_at``, library
         versions, ``source``).
+    mmapped:
+        True when the payload arrays are read-only memory maps into the
+        artifact file (``load_result(..., mmap_mode="r")`` on an
+        uncompressed artifact) instead of in-heap copies.
     """
 
     graph: WeightedGraph
@@ -111,6 +116,7 @@ class ModelArtifact:
     timings: StageTimings
     checksum: str
     meta: dict = field(default_factory=dict)
+    mmapped: bool = False
 
     @property
     def n_nodes(self) -> int:
@@ -189,6 +195,7 @@ def save_artifact(
     engine_stats: dict | None = None,
     timings: StageTimings | None = None,
     source: str = "save_artifact",
+    compress: bool = True,
 ) -> Path:
     """Low-level writer: persist a graph + config (+ optional extras).
 
@@ -196,6 +203,10 @@ def save_artifact(
     :class:`~repro.core.sgl.SGLResult`) or the
     ``SGLearner.fit(checkpoint_path=...)`` hook; this entry point exists for
     models that did not come out of the learner (tests, external graphs).
+    ``compress=False`` stores the payload arrays uncompressed
+    (``np.savez``), which costs disk but lets :func:`load_result` serve
+    them as zero-copy memory maps (``mmap_mode="r"``) — the trade the
+    read-only serve path wants.
 
     Examples
     --------
@@ -244,8 +255,9 @@ def save_artifact(
     )
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    writer = np.savez_compressed if compress else np.savez
     with path.open("wb") as handle:
-        np.savez_compressed(handle, meta_json=meta_blob, **arrays)
+        writer(handle, meta_json=meta_blob, **arrays)
     return path
 
 
@@ -255,6 +267,7 @@ def save_result(
     *,
     include_embedding: bool = True,
     embedding: np.ndarray | None = None,
+    compress: bool = True,
 ) -> Path:
     """Persist a learned :class:`~repro.core.sgl.SGLResult` as a model artifact.
 
@@ -273,6 +286,9 @@ def save_result(
         an eigensolver at load time.
     embedding:
         Explicit ``(N, r-1)`` embedding matrix to store instead.
+    compress:
+        Forwarded to :func:`save_artifact`; ``False`` stores raw payloads
+        that :func:`load_result` can memory-map.
 
     Examples
     --------
@@ -308,6 +324,7 @@ def save_result(
         engine_stats=result.engine_stats,
         timings=result.timings,
         source="SGLearner.fit",
+        compress=compress,
     )
 
 
@@ -346,7 +363,62 @@ def artifact_checksum(path: str | Path) -> str:
     return checksum
 
 
-def load_result(path: str | Path) -> ModelArtifact:
+def _mmap_payload(path: Path) -> dict[str, np.ndarray] | None:
+    """Read-only memory maps of the payload arrays, or ``None`` if unmappable.
+
+    ``np.load(mmap_mode=...)`` silently ignores the request for zip
+    archives, so this maps the members by hand: locate each ``<name>.npy``
+    member, require it to be stored uncompressed (``ZIP_STORED`` — deflate
+    streams cannot be mapped), parse its local file header to find the
+    absolute data offset, read the npy header there, and hand the rest of
+    the member to :class:`numpy.memmap`.  Zero-element arrays are returned
+    as plain empty arrays (a zero-length map is invalid).
+    """
+    arrays: dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(path) as archive, path.open("rb") as raw:
+        for name in _PAYLOAD_DTYPES:
+            try:
+                info = archive.getinfo(name + ".npy")
+            except KeyError:
+                return None
+            if info.compress_type != zipfile.ZIP_STORED:
+                return None
+            # The local file header's name/extra lengths may differ from the
+            # central directory's, so the data offset must come from the
+            # local header itself: 30 fixed bytes + name + extra.
+            raw.seek(info.header_offset)
+            header = raw.read(30)
+            if len(header) != 30 or header[:4] != b"PK\x03\x04":
+                return None
+            name_len, extra_len = struct.unpack("<HH", header[26:30])
+            raw.seek(info.header_offset + 30 + name_len + extra_len)
+            try:
+                version = np.lib.format.read_magic(raw)
+                if version == (1, 0):
+                    shape, fortran, dtype = np.lib.format.read_array_header_1_0(raw)
+                elif version == (2, 0):
+                    shape, fortran, dtype = np.lib.format.read_array_header_2_0(raw)
+                else:
+                    return None
+            except ValueError:
+                return None
+            if dtype.hasobject:
+                return None
+            if int(np.prod(shape)) == 0:
+                arrays[name] = np.empty(shape, dtype=dtype)
+                continue
+            arrays[name] = np.memmap(
+                path,
+                dtype=dtype,
+                mode="r",
+                offset=raw.tell(),
+                shape=shape,
+                order="F" if fortran else "C",
+            )
+    return arrays
+
+
+def load_result(path: str | Path, *, mmap_mode: str | None = None) -> ModelArtifact:
     """Load and validate a model artifact written by :func:`save_result`.
 
     Validation layers, in order: npz readability, metadata JSON + schema
@@ -356,26 +428,51 @@ def load_result(path: str | Path) -> ModelArtifact:
     payload checksum recomputation.  Any violation raises
     :class:`ArtifactFormatError` naming the offending field.
 
+    Parameters
+    ----------
+    path:
+        Artifact ``.npz`` path.
+    mmap_mode:
+        ``"r"`` serves the payload arrays as read-only memory maps into the
+        file instead of heap copies — pages are shared across processes and
+        nothing is duplicated at load time, which is what the serving
+        replicas want (ROADMAP item 4).  Requires an artifact saved with
+        ``compress=False``; compressed artifacts fall back to a normal
+        in-heap load (``ModelArtifact.mmapped`` tells which happened).
+        Validation (including the checksum recomputation) still runs — it
+        streams the mapped pages once but allocates no second copy.
+
     Returns
     -------
     ModelArtifact
         With the graph rebuilt through the trusted canonical constructor —
         i.e. without re-sorting — so the round trip is exact.
     """
+    if mmap_mode not in (None, "r"):
+        raise ValueError(
+            f"mmap_mode must be None or 'r' (artifacts are immutable), "
+            f"got {mmap_mode!r}"
+        )
     path = Path(path)
+    arrays: dict[str, np.ndarray] | None = None
+    mmapped = False
     try:
+        if mmap_mode is not None:
+            arrays = _mmap_payload(path)
+            mmapped = arrays is not None
         with np.load(path, allow_pickle=False) as data:
             meta = _load_meta(data)
-            arrays = {}
-            for name, dtype in _PAYLOAD_DTYPES.items():
-                if name not in data:
-                    raise ArtifactFormatError(f"missing payload array {name!r}")
-                array = data[name]
-                if array.dtype != dtype:
-                    raise ArtifactFormatError(
-                        f"{name!r} must have dtype {dtype}, got {array.dtype}"
-                    )
-                arrays[name] = array
+            if arrays is None:
+                arrays = {}
+                for name in _PAYLOAD_DTYPES:
+                    if name not in data:
+                        raise ArtifactFormatError(f"missing payload array {name!r}")
+                    arrays[name] = data[name]
+        for name, dtype in _PAYLOAD_DTYPES.items():
+            if arrays[name].dtype != dtype:
+                raise ArtifactFormatError(
+                    f"{name!r} must have dtype {dtype}, got {arrays[name].dtype}"
+                )
     except (OSError, zipfile.BadZipFile, ValueError) as exc:
         if isinstance(exc, ArtifactFormatError):
             raise
@@ -443,4 +540,5 @@ def load_result(path: str | Path) -> ModelArtifact:
         timings=timings,
         checksum=stored_checksum,
         meta=meta,
+        mmapped=mmapped,
     )

@@ -30,6 +30,11 @@ query set naive / batched / through the asyncio service)::
 
     python -m repro.bench serve --scenario circuit/medium --queries 512
 
+Benchmark online learning (initial fit, drifting update stream with
+versioned registry snapshots, from-scratch refit reference)::
+
+    python -m repro.bench stream --scenario circuit/medium --batches 5
+
 Gate a candidate artifact against a stored baseline (exit code 1 on any
 regression beyond the thresholds)::
 
@@ -227,6 +232,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated concurrent-client counts for the --load sweep "
         "(default 8,64,512)",
     )
+
+    p_stream = sub.add_parser(
+        "stream",
+        help="benchmark repro.stream: incremental update latency and quality "
+        "vs a from-scratch refit on a drifting measurement stream",
+    )
+    p_stream.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="scenario(s) to stream "
+        "(repeatable; default: circuit/tiny and circuit/medium)",
+    )
+    p_stream.add_argument("--batches", type=int, default=5,
+                          help="measurement batches to stream (default 5)")
+    p_stream.add_argument("--batch-size", type=int, default=None,
+                          help="measurements per batch "
+                          "(default: a fifth of the initial window)")
+    p_stream.add_argument("--mode", choices=("additive", "drift", "shift"),
+                          default="drift",
+                          help="stream regime (default drift)")
+    p_stream.add_argument("--drift-rate", type=float, default=0.02,
+                          help="per-batch log-normal weight drift (default 0.02)")
+    p_stream.add_argument("--refit-every", type=int, default=0, metavar="N",
+                          help="force a full refit after N incremental updates "
+                          "(default 0 = only when the detector fires)")
+    p_stream.add_argument("--seed", type=int, default=0,
+                          help="stream seed (default 0)")
+    p_stream.add_argument("--registry-dir", default=None, metavar="DIR",
+                          help="publish snapshots into this model registry "
+                          "(default: a temporary one)")
+    p_stream.add_argument("--out", default=None, metavar="PATH",
+                          help="artifact path (default: BENCH_streaming.json)")
+    p_stream.add_argument("--tag", default="streaming", help="artifact tag")
+    p_stream.add_argument("--trace", default=None, metavar="DIR",
+                          help="trace the run with repro.obs; per-scenario "
+                          "artifacts land in DIR (stream_<scenario>.jsonl "
+                          "+ metrics/resources)")
 
     p_cmp = sub.add_parser(
         "compare",
@@ -509,6 +553,75 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_stream(args) -> int:
+    from repro.bench.streaming import run_stream_bench
+
+    scenarios = args.scenario or ["circuit/tiny", "circuit/medium"]
+    try:
+        for name in scenarios:
+            registry.get_scenario(name)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    def progress(name, records):
+        by_method = {record.method: record for record in records}
+        update = by_method["stream_update"]
+        refit = by_method["stream_refit"]
+        print(
+            f"  {name:28s} N={update.n_nodes:6d}  "
+            f"updates {update.info['n_incremental']}/{update.info['n_updates']} incr  "
+            f"mean {1e3 * update.info['mean_update_seconds']:7.1f}ms  "
+            f"refit {1e3 * update.info['refit_seconds']:7.1f}ms "
+            f"({update.quality['speedup_vs_refit']:.1f}x)  "
+            f"corr {update.quality['resistance_correlation']:.3f} "
+            f"(refit {refit.quality['resistance_correlation']:.3f})  "
+            f"v{update.info['latest_version']}"
+        )
+
+    print(
+        f"stream bench: {len(scenarios)} scenario(s), "
+        f"{args.batches} batches, mode={args.mode}, drift={args.drift_rate}"
+    )
+    start = time.perf_counter()
+    records = run_stream_bench(
+        scenarios,
+        n_batches=args.batches,
+        batch_size=args.batch_size,
+        mode=args.mode,
+        drift_rate=args.drift_rate,
+        max_updates_between_refits=args.refit_every,
+        seed=args.seed,
+        registry_dir=args.registry_dir,
+        trace_dir=args.trace,
+        progress=progress,
+    )
+    elapsed = time.perf_counter() - start
+    out = args.out or "BENCH_streaming.json"
+    artifact = make_artifact(
+        args.tag,
+        records,
+        run_config={
+            "scenarios": scenarios,
+            "batches": args.batches,
+            "batch_size": args.batch_size,
+            "mode": args.mode,
+            "drift_rate": args.drift_rate,
+            "refit_every": args.refit_every,
+            "seed": args.seed,
+            "trace": args.trace,
+        },
+    )
+    path = save_artifact(artifact, out)
+    print(f"wrote {len(records)} record(s) to {path} in {elapsed:.1f}s")
+    if args.trace is not None:
+        print(
+            f"trace artifacts in {args.trace}/ "
+            "(inspect with `python -m repro.obs report`)"
+        )
+    return 0
+
+
 def _cmd_compare(args) -> int:
     try:
         baseline = load_artifact(args.baseline)
@@ -535,6 +648,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "stream":
+        return _cmd_stream(args)
     if args.command == "compare":
         return _cmd_compare(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -56,6 +56,8 @@ STAGE_NAMES: tuple[str, ...] = (
     "edge_selection",
     "edge_scaling",
     "checkpoint",
+    "drift_check",
+    "publish",
 )
 
 

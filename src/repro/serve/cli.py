@@ -19,6 +19,14 @@ Run the newline-delimited JSON TCP server::
 
 and talk to it with one JSON object per line, e.g.
 ``{"kind": "resistance", "artifact": "model.npz", "pairs": [[0, 5]]}``.
+
+With ``--registry DIR`` every ``--artifact`` (and the ``artifact`` field of
+TCP requests) may also be a ``name@version`` / ``name@latest`` / ``name@tag``
+registry reference, and ``serve --follow name@latest`` hot-swaps the served
+session whenever the stream loop publishes a new version — in-flight queries
+finish on the version they started on::
+
+    repro-serve serve --registry ./registry --follow online@latest
 """
 
 from __future__ import annotations
@@ -31,6 +39,7 @@ import time
 
 import numpy as np
 
+from repro.artifacts.registry import ModelRegistry, RegistryError
 from repro.artifacts.store import ArtifactFormatError
 from repro.metrics.resistance import sample_node_pairs
 from repro.obs import ObsSession
@@ -48,13 +57,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_model_source(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--registry", default=None, metavar="DIR",
+                       help="model registry root; lets --artifact be a "
+                       "name@version / name@latest / name@tag reference")
+        p.add_argument("--mmap", action="store_true",
+                       help="memory-map model arrays of uncompressed "
+                       "artifacts instead of copying them into RAM")
+
     p_warm = sub.add_parser("warm", help="load an artifact and print session stats")
-    p_warm.add_argument("--artifact", required=True, help="model .npz path")
+    p_warm.add_argument("--artifact", required=True,
+                        help="model .npz path or registry reference")
     p_warm.add_argument("--clusters", type=int, default=None,
                         help="additionally precompute this many spectral clusters")
+    add_model_source(p_warm)
 
     p_query = sub.add_parser("query", help="run a batch of queries in-process")
-    p_query.add_argument("--artifact", required=True, help="model .npz path")
+    p_query.add_argument("--artifact", required=True,
+                         help="model .npz path or registry reference")
     p_query.add_argument("--kind", choices=("resistance", "neighbors", "labels"),
                          default="resistance")
     p_query.add_argument("--pairs", default=None,
@@ -80,10 +100,20 @@ def build_parser() -> argparse.ArgumentParser:
                          "breakdown (queue wait / pool wait / execute)")
     p_query.add_argument("--trace", default=None, metavar="DIR",
                          help="write trace + metrics artifacts into DIR")
+    add_model_source(p_query)
 
     p_serve = sub.add_parser("serve", help="run the JSON-lines TCP server")
     p_serve.add_argument("--artifact", action="append", default=None,
-                         help="artifact(s) to warm at startup (repeatable)")
+                         help="artifact(s) or registry reference(s) to warm "
+                         "at startup (repeatable)")
+    p_serve.add_argument("--follow", default=None, metavar="REF",
+                         help="hot-follow a registry reference (e.g. "
+                         "online@latest): swap to new versions as they "
+                         "publish, without dropping in-flight queries "
+                         "(requires --registry)")
+    p_serve.add_argument("--poll-interval", type=float, default=1.0,
+                         help="seconds between --follow registry polls "
+                         "(default 1.0)")
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8642)
     p_serve.add_argument("--max-sessions", type=int, default=4,
@@ -95,7 +125,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--trace", default=None, metavar="DIR",
                          help="trace the server's lifetime; write trace + "
                          "metrics artifacts into DIR on shutdown")
+    add_model_source(p_serve)
     return parser
+
+
+def _model_source_options(args) -> dict:
+    """``GraphService`` kwargs from the shared ``--registry`` / ``--mmap`` flags."""
+    options: dict = {}
+    if args.registry:
+        options["registry"] = ModelRegistry(args.registry)
+    if args.mmap:
+        options["mmap_mode"] = "r"
+    return options
 
 
 def _parse_pairs(text: str) -> np.ndarray:
@@ -116,10 +157,10 @@ def _parse_nodes(text: str) -> list[int]:
 
 
 def _cmd_warm(args) -> int:
-    service = GraphService()
+    service = GraphService(**_model_source_options(args))
     try:
         session = service.warm(args.artifact)
-    except (OSError, ArtifactFormatError) as exc:
+    except (OSError, ArtifactFormatError, RegistryError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if args.clusters:
@@ -179,10 +220,11 @@ def _cmd_query(args) -> int:
         max_batch_size=args.batch_size,
         max_delay_s=args.max_delay_ms / 1e3,
         metrics=obs.metrics if obs is not None else None,
+        **_model_source_options(args),
     )
     try:
         session = service.warm(args.artifact)
-    except (OSError, ArtifactFormatError) as exc:
+    except (OSError, ArtifactFormatError, RegistryError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
@@ -256,6 +298,9 @@ def _cmd_query(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    if args.follow and not args.registry:
+        print("error: --follow requires --registry", file=sys.stderr)
+        return 2
     obs = ObsSession() if args.trace else None
     service = GraphService(
         max_sessions=args.max_sessions,
@@ -263,18 +308,39 @@ def _cmd_serve(args) -> int:
         max_delay_s=args.max_delay_ms / 1e3,
         max_workers=args.workers,
         metrics=obs.metrics if obs is not None else None,
+        **_model_source_options(args),
     )
     for path in args.artifact or ():
         try:
             session = service.warm(path)
-        except (OSError, ArtifactFormatError) as exc:
+        except (OSError, ArtifactFormatError, RegistryError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         print(f"warmed {path}: N={session.n_nodes}, |E|={session.graph.n_edges}")
+
+    async def run_server() -> None:
+        follower = None
+        if args.follow:
+            def announce(session):
+                print(f"following {args.follow}: swapped to {session.checksum[:12]}")
+
+            follower = asyncio.ensure_future(
+                service.follow(
+                    args.follow,
+                    poll_interval=args.poll_interval,
+                    on_swap=announce,
+                )
+            )
+        try:
+            await serve_forever(service, args.host, args.port)
+        finally:
+            if follower is not None:
+                follower.cancel()
+
     if obs is not None:
         obs.__enter__()
     try:
-        asyncio.run(serve_forever(service, args.host, args.port))
+        asyncio.run(run_server())
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
         print("shutting down")
     finally:

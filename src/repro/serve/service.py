@@ -9,7 +9,13 @@
   drops its Laplacian factorisation and index).  The query path trusts the
   path -> checksum mapping established at first load; a file replaced
   on disk is picked up by the next :meth:`~GraphService.warm` call (the
-  TCP protocol exposes a ``warm`` request for exactly this);
+  TCP protocol exposes a ``warm`` request for exactly this), which also
+  *invalidates* the superseded session so a re-saved path can never keep
+  serving the stale model, and :meth:`~GraphService.invalidate` drops a
+  mapping explicitly.  With a :class:`~repro.artifacts.ModelRegistry`
+  attached, ``name@version`` references resolve through the registry and
+  :meth:`~GraphService.follow` hot-swaps to newly published versions
+  without dropping in-flight queries;
 * one :class:`~repro.serve.MicroBatcher` — concurrent ``query()`` calls
   against the same ``(session, kind, options)`` signature coalesce into one
   batched session call, executed on the **compute pool**;
@@ -61,6 +67,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.artifacts.registry import is_model_ref
 from repro.artifacts.store import load_result
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import span as obs_span
@@ -150,6 +157,17 @@ class GraphService:
         records into; ``None`` creates a private one.  Always available as
         ``service.metrics``; a snapshot rides along in :meth:`stats`, so
         the TCP ``stats`` request exposes it remotely.
+    registry:
+        Optional :class:`~repro.artifacts.ModelRegistry`.  When given,
+        ``name@version`` / ``name@latest`` / ``name@tag`` references are
+        accepted wherever an artifact path is (``query``, ``warm``, the TCP
+        protocol) and resolve through the registry index; :meth:`follow`
+        polls a reference and hot-swaps to new versions as they publish.
+    mmap_mode:
+        Forwarded to :func:`~repro.artifacts.load_result`; ``"r"``
+        memory-maps the read-only model arrays of uncompressed artifacts
+        instead of copying them into RAM (large models load in
+        milliseconds; the OS pages data in on demand).
 
     Examples
     --------
@@ -185,6 +203,8 @@ class GraphService:
         adaptive_flush: bool = True,
         session_options: dict | None = None,
         metrics: MetricsRegistry | None = None,
+        registry=None,
+        mmap_mode: str | None = None,
     ) -> None:
         if max_sessions < 1:
             raise ValueError("max_sessions must be at least 1")
@@ -198,6 +218,8 @@ class GraphService:
         # cache-hit path and loader-thread cold loads touch them
         # concurrently.  Never held while loading or factorising a model.
         self._cache_lock = threading.Lock()
+        self._registry = registry
+        self._mmap_mode = mmap_mode
         self._session_options = dict(session_options or {})
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-serve-compute"
@@ -248,18 +270,61 @@ class GraphService:
     def _set_cache_gauge(self, loaded: int) -> None:
         self.metrics.gauge("serve.cache.sessions").set(loaded)
 
-    def warm(self, path: str | Path) -> GraphSession:
-        """Load an artifact into the session cache (or refresh its LRU slot).
+    def _resolve(self, target: str) -> str:
+        """Resolve a registry reference to its artifact path (no-op for paths).
 
-        Always re-reads (and re-validates) the file, so ``warm`` is also how
-        a replaced artifact under a known path gets picked up.  Returns the
+        ``name@latest`` and friends re-read the registry index first, so a
+        version published by another process (the stream loop) is visible to
+        the very next ``warm``.
+        """
+        if self._registry is not None and is_model_ref(target):
+            self._registry.reload()
+            return str(self._registry.resolve(target))
+        return target
+
+    def _remember(self, key: str, checksum: str) -> int:
+        """Map ``key`` -> ``checksum`` (cache lock held by the caller).
+
+        When the key previously pointed at a *different* model and no other
+        key still references the old session, the old session is dropped —
+        this is the invalidation that keeps a re-saved path or republished
+        reference from silently serving the stale version.  In-flight
+        batches hold their own session reference and finish unaffected.
+        Returns the number of sessions dropped (0 or 1).
+        """
+        old = self._path_keys.get(key)
+        self._path_keys[key] = checksum
+        if old is None or old == checksum or old in self._path_keys.values():
+            return 0
+        return 1 if self._sessions.pop(old, None) is not None else 0
+
+    def warm(self, path: str | Path) -> GraphSession:
+        """Load an artifact (or registry reference) into the session cache.
+
+        Always re-resolves the reference and re-reads (and re-validates)
+        the file, so ``warm`` is also how a replaced artifact under a known
+        path — or a newly published registry version — gets picked up; the
+        superseded session is invalidated in the same step.  Returns the
         (possibly pre-existing) session, so it doubles as the synchronous
         entry point for in-process callers that want the session object.
         """
-        path = self._norm_path(path)
-        artifact = load_result(path)
-        cached = self._cache_hit(artifact.checksum, remember_path=path)
+        target = self._norm_path(path)
+        file_path = self._resolve(target)
+        artifact = load_result(file_path, mmap_mode=self._mmap_mode)
+        checksum = artifact.checksum
+        stale = 0
+        with self._cache_lock:
+            cached = self._sessions.get(checksum)
+            if cached is not None:
+                self._sessions.move_to_end(checksum)
+                stale += self._remember(target, checksum)
+                if file_path != target:
+                    stale += self._remember(file_path, checksum)
+            loaded = len(self._sessions)
         if cached is not None:
+            self._set_cache_gauge(loaded)
+            if stale:
+                self.metrics.counter("serve.cache.invalidations").inc(stale)
             return cached
         # Build outside the lock — factorising can take seconds.  Two
         # concurrent cold loads of the same model may both build; the
@@ -267,16 +332,18 @@ class GraphService:
         session = GraphSession(artifact, **self._session_options)
         evicted = 0
         with self._cache_lock:
-            existing = self._sessions.get(artifact.checksum)
+            existing = self._sessions.get(checksum)
             if existing is not None:
                 # Lost the build race: adopt the winner's session.
-                self._sessions.move_to_end(artifact.checksum)
-                self._path_keys[path] = artifact.checksum
+                self._sessions.move_to_end(checksum)
                 session = existing
             else:
-                self._sessions[artifact.checksum] = session
-                self._path_keys[path] = artifact.checksum
+                self._sessions[checksum] = session
                 self._loads += 1
+            stale += self._remember(target, checksum)
+            if file_path != target:
+                stale += self._remember(file_path, checksum)
+            if existing is None:
                 while len(self._sessions) > self._max_sessions:
                     evicted_key, _ = self._sessions.popitem(last=False)
                     for p in [
@@ -294,19 +361,79 @@ class GraphService:
             self.metrics.counter("serve.cache.loads").inc()
         if evicted:
             self.metrics.counter("serve.cache.evictions").inc(evicted)
+        if stale:
+            self.metrics.counter("serve.cache.invalidations").inc(stale)
         return session
 
-    def _cache_hit(self, checksum: str, *, remember_path: str | None = None):
+    def invalidate(self, path: str | Path) -> bool:
+        """Forget the cached mapping for a path or reference.
+
+        The next query through this key reloads from disk.  The session
+        object itself is dropped when no other key still references it;
+        in-flight batches hold their own reference and finish unaffected.
+        Returns whether a mapping existed.
+        """
+        target = self._norm_path(path)
         with self._cache_lock:
-            session = self._sessions.get(checksum)
-            if session is not None:
-                self._sessions.move_to_end(checksum)
-                if remember_path is not None:
-                    self._path_keys[remember_path] = checksum
+            checksum = self._path_keys.pop(target, None)
+            dropped = 0
+            if (
+                checksum is not None
+                and checksum not in self._path_keys.values()
+                and self._sessions.pop(checksum, None) is not None
+            ):
+                dropped = 1
             loaded = len(self._sessions)
-        if session is not None:
-            self._set_cache_gauge(loaded)
-        return session
+        self._set_cache_gauge(loaded)
+        if dropped:
+            self.metrics.counter("serve.cache.invalidations").inc(dropped)
+        return checksum is not None
+
+    async def follow(
+        self,
+        ref: str,
+        *,
+        poll_interval: float = 1.0,
+        stop: "asyncio.Event | None" = None,
+        on_swap=None,
+    ) -> None:
+        """Hot-follow a registry reference, swapping as versions publish.
+
+        Re-resolves ``ref`` (e.g. ``"online@latest"``) every
+        ``poll_interval`` seconds.  When it resolves to a new artifact the
+        session is built on the loader pool and the reference mapping is
+        swapped under the cache lock, so queries addressed to ``ref`` move
+        to the new version atomically: requests already batched finish on
+        the session object they hold, later ones see the new model — no
+        request ever fails because of the swap.  ``on_swap(session)`` is
+        called after each swap (the initial load included); ``stop`` ends
+        the loop.  A reference that does not resolve yet (name not
+        published) is retried, so a follower may start before the first
+        publish.
+        """
+        if self._registry is None:
+            raise ValueError("follow() requires a GraphService(registry=...)")
+        loop = asyncio.get_running_loop()
+        current: str | None = None
+        while not self._closed and (stop is None or not stop.is_set()):
+            try:
+                session = await loop.run_in_executor(self._loader, self.warm, ref)
+            except Exception:
+                # Not published yet, torn read, transient IO — retry.
+                self.metrics.counter("serve.follow.errors").inc()
+            else:
+                if session.checksum != current:
+                    current = session.checksum
+                    self.metrics.counter("serve.follow.swaps").inc()
+                    if on_swap is not None:
+                        on_swap(session)
+            if stop is None:
+                await asyncio.sleep(poll_interval)
+            else:
+                try:
+                    await asyncio.wait_for(stop.wait(), timeout=poll_interval)
+                except asyncio.TimeoutError:
+                    pass
 
     def session(self, path: str | Path) -> GraphSession:
         """The cached session for ``path``, loading it on first use.

@@ -1,0 +1,43 @@
+"""Online graph learning over measurement streams (ROADMAP item 3).
+
+The batch pipeline learns once and freezes; this package keeps the learned
+graph *live* while measurement batches keep arriving:
+
+* :class:`OnlineSGLearner` — wraps :class:`~repro.core.SGLearner`; per batch
+  it chooses between a cheap warm-started incremental pass and a full refit,
+  emits ``stream.update`` spans with per-stage timings, and publishes a
+  versioned snapshot (with lineage) to a
+  :class:`~repro.artifacts.ModelRegistry` so serving can hot-swap to it
+  (:mod:`repro.stream.learner`);
+* :class:`DriftDetector` / :class:`DriftDecision` — the refit-vs-incremental
+  policy: subspace novelty + energy-ratio statistics over the incoming batch,
+  a forced refit cadence and an objective-degradation latch
+  (:mod:`repro.stream.drift`);
+* :class:`MeasurementStream` — additive / drifting / shifting synthetic
+  measurement sources for tests and the ``stream`` bench scenario
+  (:mod:`repro.stream.generators`).
+
+Examples
+--------
+>>> from repro.graphs.generators import grid_2d
+>>> from repro.stream import MeasurementStream, OnlineSGLearner
+>>> stream = MeasurementStream(grid_2d(6, 6), batch_size=10, seed=0)
+>>> learner = OnlineSGLearner(beta=0.05, max_iterations=30)
+>>> _ = learner.fit(stream.next_batch())
+>>> update = learner.update(stream.next_batch())
+>>> update.graph.is_connected()
+True
+"""
+
+from repro.stream.drift import DriftDecision, DriftDetector
+from repro.stream.generators import STREAM_MODES, MeasurementStream
+from repro.stream.learner import OnlineSGLearner, StreamUpdate
+
+__all__ = [
+    "DriftDecision",
+    "DriftDetector",
+    "MeasurementStream",
+    "OnlineSGLearner",
+    "STREAM_MODES",
+    "StreamUpdate",
+]

@@ -1,0 +1,135 @@
+"""Drifting measurement streams for online-learning experiments.
+
+The batch experiments in :mod:`repro.bench` draw all ``M`` measurements from
+one frozen ground-truth network.  The online setting of ROADMAP item 3 is
+different: measurement batches arrive over time and the network *itself* may
+be changing underneath them.  :class:`MeasurementStream` models both regimes:
+
+* ``mode="additive"`` — the truth stays fixed and every batch simply adds
+  fresh measurement columns (the stationary case an incremental update
+  should handle without ever refitting);
+* ``mode="drift"`` — every batch first perturbs the true edge conductances
+  multiplicatively (``w *= exp(rate * standard_normal)``), modelling slow
+  component ageing / thermal drift in a power-delivery network;
+* ``mode="shift"`` — the truth stays fixed until ``shift_at`` batches have
+  been drawn, then jumps once by a large perturbation (an abrupt regime
+  change the drift detector must catch and answer with a full refit).
+
+Each batch is an ordinary :class:`~repro.measurements.MeasurementSet`
+(voltages *and* currents, so Step-5 edge scaling keeps working online), and
+:attr:`MeasurementStream.truth` always exposes the network the most recent
+batch was measured on — the reference bench quality metrics compare against.
+
+Examples
+--------
+>>> from repro.graphs.generators import grid_2d
+>>> from repro.stream import MeasurementStream
+>>> stream = MeasurementStream(grid_2d(6, 6), batch_size=8, mode="drift",
+...                            drift_rate=0.05, seed=0)
+>>> batch = stream.next_batch()
+>>> batch.voltages.shape
+(36, 8)
+>>> stream.truth is not stream.initial_truth  # drift perturbed the weights
+True
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import WeightedGraph
+from repro.linalg.solvers import LaplacianSolver
+from repro.measurements.generator import MeasurementSet, random_current_vectors
+
+__all__ = ["MeasurementStream", "STREAM_MODES"]
+
+#: Supported stream regimes, in order of how hostile they are to a
+#: warm-started incremental update.
+STREAM_MODES: tuple[str, ...] = ("additive", "drift", "shift")
+
+
+class MeasurementStream:
+    """A source of timed measurement batches over a (possibly drifting) truth.
+
+    Parameters
+    ----------
+    graph:
+        The initial ground-truth resistor network.
+    batch_size:
+        Measurement pairs per batch.
+    mode:
+        One of :data:`STREAM_MODES`; see the module docstring.
+    drift_rate:
+        Log-normal scale of the per-batch weight perturbation (``drift``
+        mode) or of the single jump (``shift`` mode, where it is amplified
+        by ``shift_scale``).
+    shift_at:
+        Batch index (0-based) *before* which the ``shift`` jump is applied.
+    shift_scale:
+        Multiplier on ``drift_rate`` for the one-off ``shift`` jump.
+    seed:
+        Seed for both the weight perturbations and the current excitations.
+    """
+
+    def __init__(
+        self,
+        graph: WeightedGraph,
+        batch_size: int,
+        *,
+        mode: str = "additive",
+        drift_rate: float = 0.05,
+        shift_at: int = 2,
+        shift_scale: float = 10.0,
+        seed: int | None = 0,
+    ) -> None:
+        if mode not in STREAM_MODES:
+            raise ValueError(f"mode must be one of {STREAM_MODES}, got {mode!r}")
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if drift_rate < 0:
+            raise ValueError("drift_rate must be non-negative")
+        self.initial_truth = graph
+        self.batch_size = int(batch_size)
+        self.mode = mode
+        self.drift_rate = float(drift_rate)
+        self.shift_at = int(shift_at)
+        self.shift_scale = float(shift_scale)
+        self._rng = np.random.default_rng(seed)
+        self._truth = graph
+        self._solver = LaplacianSolver(graph)
+        self._n_batches = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def truth(self) -> WeightedGraph:
+        """The ground-truth network the *next* batch will be measured on."""
+        return self._truth
+
+    @property
+    def n_batches(self) -> int:
+        """Number of batches drawn so far."""
+        return self._n_batches
+
+    def _perturb(self, rate: float) -> None:
+        """Multiplicatively perturb the true conductances and rebuild the solver."""
+        factors = np.exp(rate * self._rng.standard_normal(self._truth.n_edges))
+        self._truth = self._truth.with_weights(self._truth.weights * factors)
+        self._solver = LaplacianSolver(self._truth)
+
+    def next_batch(self) -> MeasurementSet:
+        """Draw the next measurement batch (advancing the truth when drifting)."""
+        if self.mode == "drift" and self.drift_rate > 0:
+            self._perturb(self.drift_rate)
+        elif self.mode == "shift" and self._n_batches == self.shift_at:
+            self._perturb(self.drift_rate * self.shift_scale)
+        currents = random_current_vectors(
+            self._truth.n_nodes, self.batch_size, rng=self._rng
+        )
+        voltages = self._solver.solve(currents)
+        self._n_batches += 1
+        return MeasurementSet(voltages=voltages, currents=currents, noise_level=0.0)
+
+    def batches(self, n: int):
+        """Yield ``n`` consecutive batches."""
+        for _ in range(n):
+            yield self.next_batch()

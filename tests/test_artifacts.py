@@ -96,6 +96,48 @@ class TestRoundTrip:
         assert artifact.config.sigma_sq == 2.5
 
 
+class TestMmapLoads:
+    def test_uncompressed_round_trip_equivalence(self, learned, tmp_path):
+        # The zero-copy path must be byte-for-byte equivalent to the eager
+        # loader, embedding and metadata included.
+        path = save_result(learned, tmp_path / "raw.npz", compress=False)
+        eager = load_result(path)
+        lazy = load_result(path, mmap_mode="r")
+        assert lazy.mmapped and not eager.mmapped
+        assert lazy.graph == eager.graph
+        assert np.array_equal(lazy.graph.rows, eager.graph.rows)
+        assert np.array_equal(lazy.graph.cols, eager.graph.cols)
+        assert np.array_equal(lazy.graph.weights, eager.graph.weights)
+        assert np.array_equal(lazy.embedding, eager.embedding)
+        assert lazy.checksum == eager.checksum
+        assert lazy.config == eager.config
+
+    def test_mmap_arrays_are_memory_mapped(self, learned, tmp_path):
+        path = save_result(learned, tmp_path / "raw.npz", compress=False)
+        artifact = load_result(path, mmap_mode="r")
+        assert isinstance(artifact.graph.weights, np.memmap)
+
+    def test_compressed_artifact_falls_back_to_eager(self, learned, tmp_path):
+        # Compressed (deflated) members cannot be mapped: the loader must
+        # degrade gracefully rather than fail or return garbage.
+        path = save_result(learned, tmp_path / "packed.npz", compress=True)
+        artifact = load_result(path, mmap_mode="r")
+        assert not artifact.mmapped
+        assert artifact.graph == learned.graph
+
+    def test_mmap_checksum_still_validated(self, learned, tmp_path):
+        path = save_result(learned, tmp_path / "raw.npz", compress=False)
+
+        def corrupt(arrays):
+            arrays["graph_weights"] = arrays["graph_weights"].copy()
+            arrays["graph_weights"][0] *= 2.0
+            return arrays
+
+        bad = _tampered_npz(path, tmp_path / "bad.npz", corrupt)
+        with pytest.raises(ArtifactFormatError, match="checksum"):
+            load_result(bad, mmap_mode="r")
+
+
 class TestChecksum:
     def test_payload_checksum_deterministic_and_sensitive(self):
         a = {"x": np.arange(5, dtype=np.int64), "y": np.ones(3)}

@@ -1,0 +1,225 @@
+"""Tests for repro.artifacts.registry: publish/resolve/lineage/tag/gc."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.artifacts import (
+    ModelRegistry,
+    RegistryError,
+    is_model_ref,
+    load_result,
+    parse_model_ref,
+    save_result,
+)
+from repro.core.sgl import learn_graph
+from repro.graphs.generators import grid_2d
+from repro.measurements.generator import simulate_measurements
+
+
+@pytest.fixture(scope="module")
+def learned():
+    data = simulate_measurements(grid_2d(6, 6), n_measurements=25, seed=0)
+    return learn_graph(data, beta=0.05)
+
+
+@pytest.fixture(scope="module")
+def learned_alt():
+    data = simulate_measurements(grid_2d(6, 6), n_measurements=25, seed=1)
+    return learn_graph(data, beta=0.1)
+
+
+@pytest.fixture()
+def registry(tmp_path):
+    return ModelRegistry(tmp_path / "registry")
+
+
+class TestRefs:
+    def test_is_model_ref(self):
+        assert is_model_ref("grid@latest")
+        assert is_model_ref("grid@3")
+        assert is_model_ref("power-net.v2@prod")
+        # Plain paths must never be mistaken for registry references.
+        assert not is_model_ref("models/grid.npz")
+        assert not is_model_ref("/abs/path.npz")
+        assert not is_model_ref("grid")
+        assert not is_model_ref(42)
+
+    def test_parse_model_ref(self):
+        assert parse_model_ref("grid@3") == ("grid", "3")
+        assert parse_model_ref("grid@prod") == ("grid", "prod")
+        assert parse_model_ref("grid") == ("grid", "latest")
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("", "@", "grid@", "@latest", "a b@1", "grid@a b"):
+            with pytest.raises(RegistryError):
+                parse_model_ref(bad)
+
+
+class TestPublish:
+    def test_versions_are_monotonic_with_lineage(self, registry, learned):
+        v1 = registry.publish(learned, "grid")
+        v2 = registry.publish(learned, "grid", parent=v1)
+        v3 = registry.publish(learned, "grid", parent=v2)
+        assert (v1.version, v2.version, v3.version) == (1, 2, 3)
+        assert v1.parent is None and v2.parent == 1 and v3.parent == 2
+        assert [v.version for v in registry.lineage("grid@latest")] == [3, 2, 1]
+
+    def test_resolve_loads_the_published_model(self, registry, learned):
+        registry.publish(learned, "grid")
+        artifact = load_result(registry.resolve("grid@1"))
+        assert artifact.graph == learned.graph
+        assert artifact.checksum == registry.get("grid@1").checksum
+
+    def test_publish_from_existing_file(self, registry, learned, tmp_path):
+        path = save_result(learned, tmp_path / "model.npz")
+        version = registry.publish(path, "copied")
+        assert version.checksum == load_result(path).checksum
+        assert version.n_nodes == learned.graph.n_nodes
+        assert version.n_edges == learned.graph.n_edges
+        assert load_result(registry.resolve("copied")).graph == learned.graph
+
+    def test_publish_records_metadata_and_sizes(self, registry, learned):
+        version = registry.publish(
+            learned, "grid", metadata={"stream": {"mode": "initial"}}
+        )
+        assert version.metadata == {"stream": {"mode": "initial"}}
+        assert version.n_nodes == 36
+        assert registry.get("grid@1").metadata["stream"]["mode"] == "initial"
+
+    def test_invalid_names_and_parents_rejected(self, registry, learned):
+        with pytest.raises(RegistryError, match="invalid model name"):
+            registry.publish(learned, "no spaces")
+        registry.publish(learned, "grid")
+        with pytest.raises(RegistryError, match="does not exist"):
+            registry.publish(learned, "grid", parent=7)
+        other = registry.publish(learned, "other")
+        with pytest.raises(RegistryError, match="different model"):
+            registry.publish(learned, "grid", parent=other)
+
+    def test_unknown_model_error_lists_available(self, registry, learned):
+        registry.publish(learned, "grid")
+        with pytest.raises(RegistryError, match=r"available: \['grid'\]"):
+            registry.get("nope@latest")
+
+    def test_list_and_names(self, registry, learned, learned_alt):
+        registry.publish(learned, "a")
+        registry.publish(learned_alt, "a")
+        registry.publish(learned, "b")
+        assert registry.names() == ["a", "b"]
+        assert [(v.name, v.version) for v in registry.list()] == [
+            ("a", 1), ("a", 2), ("b", 1),
+        ]
+        assert [v.version for v in registry.list("a")] == [1, 2]
+        assert len(registry) == 3
+
+
+class TestTags:
+    def test_tag_points_and_moves(self, registry, learned, learned_alt):
+        registry.publish(learned, "grid")
+        registry.publish(learned_alt, "grid")
+        registry.tag("grid@1", "prod")
+        assert registry.get("grid@prod").version == 1
+        assert registry.get("grid@1").tags == ("prod",)
+        registry.tag("grid@latest", "prod")
+        assert registry.get("grid@prod").version == 2
+        assert registry.get("grid@1").tags == ()
+
+    def test_reserved_tags_rejected(self, registry, learned):
+        registry.publish(learned, "grid")
+        for bad in ("latest", "3", "no spaces"):
+            with pytest.raises(RegistryError):
+                registry.tag("grid@1", bad)
+
+
+class TestGc:
+    def test_gc_keeps_recent_tagged_and_lineage(self, registry, learned):
+        versions = [registry.publish(learned, "grid") for _ in range(6)]
+        registry.tag("grid@2", "pinned")
+        # keep_last=2 keeps v5, v6; the tag keeps v2; parents stay implicit
+        # (these are all root versions, so no lineage rescue happens).
+        removed = registry.gc("grid", keep_last=2)
+        assert sorted(v.version for v in removed) == [1, 3, 4]
+        assert [v.version for v in registry.list("grid")] == [2, 5, 6]
+        for version in removed:
+            assert not version.path.exists()
+        assert registry.get("grid@pinned").version == 2
+        assert versions[4].path.exists()
+
+    def test_gc_keeps_parents_of_survivors(self, registry, learned):
+        parent = None
+        for _ in range(5):
+            parent = registry.publish(learned, "grid", parent=parent)
+        # Every version is an ancestor of the kept head: nothing to remove.
+        assert registry.gc("grid", keep_last=1) == []
+        assert len(registry.list("grid")) == 5
+
+    def test_gc_validates_keep_last(self, registry):
+        with pytest.raises(RegistryError, match="keep_last"):
+            registry.gc(keep_last=0)
+
+
+class TestIndexDurability:
+    def test_reopen_sees_published_versions(self, registry, learned):
+        registry.publish(learned, "grid", tags=("prod",))
+        reopened = ModelRegistry(registry.root)
+        assert reopened.get("grid@prod").version == 1
+        assert reopened.verify("grid@latest").checksum == (
+            registry.get("grid@1").checksum
+        )
+
+    def test_reload_picks_up_external_publish(self, registry, learned):
+        registry.publish(learned, "grid")
+        other = ModelRegistry(registry.root)
+        other.publish(learned, "grid")
+        with pytest.raises(RegistryError):
+            registry.get("grid@2")
+        registry.reload()
+        assert registry.get("grid@2").version == 2
+
+    def test_no_tmp_files_left_behind(self, registry, learned):
+        registry.publish(learned, "grid")
+        leftovers = list(registry.root.rglob("*.tmp"))
+        assert leftovers == []
+
+    def test_corrupt_index_rejected(self, tmp_path, learned):
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.publish(learned, "grid")
+        (tmp_path / "reg" / "index.json").write_text("{not json", encoding="utf-8")
+        with pytest.raises(RegistryError, match="unreadable"):
+            ModelRegistry(tmp_path / "reg")
+
+    def test_foreign_index_rejected(self, tmp_path):
+        root = tmp_path / "reg"
+        root.mkdir()
+        (root / "index.json").write_text(json.dumps({"schema": "other"}))
+        with pytest.raises(RegistryError, match="not a repro.registry"):
+            ModelRegistry(root)
+
+    def test_future_schema_version_rejected(self, tmp_path):
+        root = tmp_path / "reg"
+        root.mkdir()
+        (root / "index.json").write_text(
+            json.dumps({"schema": "repro.registry", "schema_version": 99})
+        )
+        with pytest.raises(RegistryError, match="schema_version"):
+            ModelRegistry(root)
+
+    def test_verify_detects_checksum_drift(self, registry, learned, learned_alt):
+        version = registry.publish(learned, "grid")
+        registry.verify("grid@1")
+        # Swap the artifact file for a different (valid) model behind the
+        # index's back: verify must flag the checksum drift.
+        save_result(learned_alt, version.path)
+        with pytest.raises(RegistryError, match="checksum drift"):
+            registry.verify("grid@1")
+
+
+class TestUncompressedPublish:
+    def test_uncompressed_publish_is_mmapable(self, registry, learned):
+        registry.publish(learned, "grid", compress=False)
+        artifact = load_result(registry.resolve("grid@1"), mmap_mode="r")
+        assert artifact.mmapped
+        assert artifact.graph == learned.graph
+        assert np.array_equal(artifact.graph.weights, learned.graph.weights)

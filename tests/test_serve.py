@@ -676,10 +676,10 @@ class TestServiceConcurrency:
         gate = threading.Event()
         real_load = service_module.load_result
 
-        def gated_load(path):
+        def gated_load(path, **kwargs):
             if str(path) == str(cold_path):
                 assert gate.wait(timeout=30), "test gate never opened"
-            return real_load(path)
+            return real_load(path, **kwargs)
 
         monkeypatch.setattr(service_module, "load_result", gated_load)
 
